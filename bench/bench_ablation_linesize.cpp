@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cache-line-size ablation (end of section 4.1).
+ *
+ * The paper observes that splittability is less pronounced with
+ * larger lines: merging nodes of the reference graph (larger lines)
+ * can only increase the minimum cut. This bench runs the Figures 4/5
+ * profile experiment at 32/64/128/256-byte lines on representative
+ * splittable benchmarks and reports the p1-p4 gap and the transition
+ * frequency.
+ */
+
+#include <cstdio>
+
+#include "sim/options.hpp"
+#include "sim/stack_profile.hpp"
+#include "util/stats.hpp"
+
+using namespace xmig;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+    if (opt.instructions == 20'000'000)
+        opt.instructions = 10'000'000;
+
+    const std::vector<std::string> benches =
+        opt.benchmarks.empty()
+            ? std::vector<std::string>{"179.art", "188.ammp", "health"}
+            : opt.benchmarks;
+
+    AsciiTable table({"benchmark", "line", "max(p1-p4)", "trans-freq",
+                      "footprint"});
+    for (const auto &name : benches) {
+        for (uint64_t line : {32, 64, 128, 256}) {
+            StackProfileParams params;
+            params.instructionsPerBenchmark = opt.instructions;
+            params.seed = opt.seed;
+            params.lineBytes = line;
+            const StackProfileResult r = runStackProfile(name, params);
+            char gap[16];
+            std::snprintf(gap, sizeof(gap), "%.3f", r.maxGap());
+            table.addRow({r.name, sizeLabel(line), gap,
+                          frequency(r.transitions, r.stackAccesses),
+                          sizeLabel(r.footprintLines * line)});
+        }
+    }
+    std::fputs(table.render("Line-size ablation: splittability gap "
+                            "p1-p4 vs line size").c_str(),
+               stdout);
+    return 0;
+}

@@ -1,0 +1,128 @@
+#include "cache/cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+
+std::unique_ptr<TagStore>
+makeTags(const CacheConfig &config)
+{
+    const uint64_t lines = config.numLines();
+    XMIG_ASSERT(lines >= config.ways && lines % config.ways == 0,
+                "capacity %llu lines not divisible by %u ways",
+                (unsigned long long)lines, config.ways);
+    const uint64_t sets = lines / config.ways;
+    if (config.skewed) {
+        return std::make_unique<SkewedTags>(sets, config.ways,
+                                            config.repl, config.seed);
+    }
+    return std::make_unique<SetAssocTags>(sets, config.ways,
+                                          config.repl, config.seed);
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      tags_(makeTags(config))
+{
+}
+
+AccessOutcome
+Cache::access(uint64_t line, bool is_store)
+{
+    AccessOutcome out;
+    ++stats_.accesses;
+
+    CacheEntry *entry = tags_->find(line);
+    if (entry) {
+        out.hit = true;
+        ++stats_.hits;
+        tags_->touch(*entry);
+        if (is_store) {
+            if (config_.write == WritePolicy::WriteBackAllocate)
+                entry->modified = true;
+            else
+                out.writeThrough = true;
+        }
+        return out;
+    }
+
+    ++stats_.misses;
+    const bool allocate =
+        !is_store || config_.write == WritePolicy::WriteBackAllocate;
+    if (is_store && config_.write == WritePolicy::WriteThroughNoAllocate)
+        out.writeThrough = true;
+
+    if (allocate) {
+        CacheEntry victim;
+        bool victim_valid = false;
+        CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
+        out.filled = true;
+        if (victim_valid) {
+            out.evictedValid = true;
+            out.evictedLine = victim.line;
+            if (victim.modified) {
+                out.writeback = true;
+                ++stats_.writebacks;
+            }
+        }
+        if (is_store && config_.write == WritePolicy::WriteBackAllocate)
+            frame.modified = true;
+    }
+    return out;
+}
+
+AccessOutcome
+Cache::fill(uint64_t line, bool modified)
+{
+    AccessOutcome out;
+    CacheEntry *entry = tags_->find(line);
+    if (entry) {
+        entry->modified = entry->modified || modified;
+        out.hit = true;
+        return out;
+    }
+    CacheEntry victim;
+    bool victim_valid = false;
+    CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
+    frame.modified = modified;
+    out.filled = true;
+    if (victim_valid) {
+        out.evictedValid = true;
+        out.evictedLine = victim.line;
+        if (victim.modified) {
+            out.writeback = true;
+            ++stats_.writebacks;
+        }
+    }
+    return out;
+}
+
+bool
+Cache::contains(uint64_t line) const
+{
+    return tags_->find(line) != nullptr;
+}
+
+CacheEntry *
+Cache::findEntry(uint64_t line)
+{
+    return tags_->find(line);
+}
+
+const CacheEntry *
+Cache::findEntry(uint64_t line) const
+{
+    return tags_->find(line);
+}
+
+bool
+Cache::invalidate(uint64_t line)
+{
+    return tags_->invalidate(line);
+}
+
+} // namespace xmig

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A single cache with write-policy semantics, built on a TagStore.
+ *
+ * The machine model of the paper needs two flavors:
+ *  - L1 data: write-through, non-write-allocate (section 2.1);
+ *  - L2: write-back, write-allocate, 4-way skewed-associative.
+ * Cache operates on *line addresses*; callers apply LineGeometry.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/tags.hpp"
+
+namespace xmig {
+
+/** Write-handling policy. */
+enum class WritePolicy : uint8_t
+{
+    WriteThroughNoAllocate, ///< stores propagate down; miss: no fill
+    WriteBackAllocate,      ///< stores set modified; miss: fill first
+};
+
+/** Static configuration of one cache. */
+struct CacheConfig
+{
+    uint64_t capacityBytes = 512 * 1024;
+    unsigned ways = 4;
+    uint64_t lineBytes = 64;
+    WritePolicy write = WritePolicy::WriteBackAllocate;
+    ReplPolicy repl = ReplPolicy::Lru;
+    bool skewed = false; ///< skewed-associative instead of set-assoc
+    uint64_t seed = 1;
+
+    uint64_t numLines() const { return capacityBytes / lineBytes; }
+};
+
+/** What one access did, for stats and for driving the level below. */
+struct AccessOutcome
+{
+    bool hit = false;
+    bool filled = false;        ///< a frame was allocated for the line
+    bool writeThrough = false;  ///< store must be sent downstream (WT)
+    bool evictedValid = false;  ///< an existing line was displaced
+    bool writeback = false;     ///< ...and it was modified (dirty)
+    uint64_t evictedLine = 0;
+};
+
+/** Hit/miss statistics for one cache. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+
+    double
+    missRatio() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/**
+ * One cache level.
+ *
+ * Besides the usual access() path, exposes fill() / findEntry() /
+ * invalidate() so the multi-core model can implement the paper's
+ * migration-mode coherence (mirrored fills, modified-bit transfer,
+ * update-bus stores into inactive copies).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Perform a load or store for `line`, applying the write policy.
+     * Misses allocate according to the policy.
+     */
+    AccessOutcome access(uint64_t line, bool is_store);
+
+    /**
+     * Install `line` without counting an access (broadcast fills,
+     * forwarded lines). No-op if already resident, except that
+     * `modified` is ORed into the entry.
+     */
+    AccessOutcome fill(uint64_t line, bool modified);
+
+    /** True if `line` is resident. */
+    bool contains(uint64_t line) const;
+
+    /** Direct access to the frame of `line` (nullptr if absent). */
+    CacheEntry *findEntry(uint64_t line);
+    const CacheEntry *findEntry(uint64_t line) const;
+
+    /** Remove `line` if resident. */
+    bool invalidate(uint64_t line);
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = {}; }
+
+    const CacheConfig &config() const { return config_; }
+    TagStore &tags() { return *tags_; }
+    const TagStore &tags() const { return *tags_; }
+
+  private:
+    CacheConfig config_;
+    std::unique_ptr<TagStore> tags_;
+    CacheStats stats_;
+};
+
+} // namespace xmig

@@ -1,0 +1,75 @@
+#include "cache/l1_filter.hpp"
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+L1Filter::L1Filter(const L1FilterConfig &config, LineSink &sink)
+    : config_(config),
+      geom_(config.lineBytes),
+      sink_(&sink)
+{
+    if (config_.fullyAssociative) {
+        faIl1_ = std::make_unique<FullyAssocLru>(
+            config_.il1Bytes / config_.lineBytes);
+        faDl1_ = std::make_unique<FullyAssocLru>(
+            config_.dl1Bytes / config_.lineBytes);
+    } else {
+        CacheConfig il1;
+        il1.capacityBytes = config_.il1Bytes;
+        il1.ways = config_.ways;
+        il1.lineBytes = config_.lineBytes;
+        il1.write = WritePolicy::WriteBackAllocate; // ifetch never writes
+        saIl1_ = std::make_unique<Cache>(il1);
+
+        CacheConfig dl1 = il1;
+        dl1.capacityBytes = config_.dl1Bytes;
+        dl1.write = config_.unifiedReadWrite
+            ? WritePolicy::WriteBackAllocate
+            : WritePolicy::WriteThroughNoAllocate;
+        saDl1_ = std::make_unique<Cache>(dl1);
+    }
+}
+
+void
+L1Filter::access(const MemRef &ref)
+{
+    const uint64_t line = geom_.lineOf(ref.addr);
+    const bool is_store = !config_.unifiedReadWrite && ref.isStore();
+
+    bool hit;
+    if (ref.isIfetch()) {
+        hit = config_.fullyAssociative
+            ? faIl1_->access(line)
+            : saIl1_->access(line, false).hit;
+    } else if (config_.fullyAssociative) {
+        hit = faDl1_->access(line);
+    } else {
+        hit = saDl1_->access(line, is_store).hit;
+    }
+
+    // Downstream sees: every miss, plus (in write-through mode) every
+    // store, hit or miss, since WT stores always propagate.
+    if (!hit || is_store) {
+        LineEvent event;
+        event.line = line;
+        event.type = ref.type;
+        event.l1Miss = !hit;
+        event.pointer = ref.pointer;
+        sink_->onLine(event);
+    }
+}
+
+const CacheStats &
+L1Filter::il1Stats() const
+{
+    return config_.fullyAssociative ? faIl1_->stats() : saIl1_->stats();
+}
+
+const CacheStats &
+L1Filter::dl1Stats() const
+{
+    return config_.fullyAssociative ? faDl1_->stats() : saDl1_->stats();
+}
+
+} // namespace xmig

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Level-1 filtering of a reference stream.
+ *
+ * Both evaluation setups in the paper observe the stream *after* the
+ * L1 caches: section 4.1 filters through 16-KB fully-associative LRU
+ * IL1/DL1 (loads and stores not distinguished), and section 4.2 uses
+ * 16-KB 4-way set-associative L1s with a write-through,
+ * non-write-allocate DL1, so the L2 sees L1 misses plus every store.
+ *
+ * Because the paper mirrors L1 contents across all cores (section
+ * 2.3), the L1-filtered stream is identical whether or not execution
+ * migrates; one shared filter instance therefore models the L1 level
+ * of the whole machine exactly.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "cache/fully_assoc.hpp"
+#include "mem/line.hpp"
+#include "mem/ref.hpp"
+#include "mem/trace.hpp"
+
+namespace xmig {
+
+/** One post-L1 event: a line-granularity request leaving the L1s. */
+struct LineEvent
+{
+    uint64_t line = 0;   ///< line address
+    RefType type = RefType::Load;
+    bool l1Miss = false; ///< true for misses; false for WT store hits
+    bool pointer = false; ///< request came from a pointer load
+};
+
+/** Consumer of the post-L1 stream. */
+class LineSink
+{
+  public:
+    virtual ~LineSink() = default;
+    virtual void onLine(const LineEvent &event) = 0;
+};
+
+/** LineSink that drops everything. */
+class NullLineSink : public LineSink
+{
+  public:
+    void onLine(const LineEvent &) override {}
+};
+
+/** Configuration for the L1 level. */
+struct L1FilterConfig
+{
+    uint64_t il1Bytes = 16 * 1024;
+    uint64_t dl1Bytes = 16 * 1024;
+    uint64_t lineBytes = 64;
+
+    /** true: fully-associative LRU (section 4.1); false: set-assoc. */
+    bool fullyAssociative = true;
+
+    /** Associativity when !fullyAssociative (section 4.2 uses 4). */
+    unsigned ways = 4;
+
+    /**
+     * true: loads and stores are not distinguished (section 4.1);
+     * stores allocate like loads and nothing is written through.
+     * false: DL1 is write-through non-write-allocate (section 2.1);
+     * every store is forwarded downstream, store misses do not
+     * allocate.
+     */
+    bool unifiedReadWrite = true;
+};
+
+/**
+ * The L1 level of the machine: filters MemRefs, emits LineEvents.
+ */
+class L1Filter : public RefSink
+{
+  public:
+    /** @param sink downstream consumer of post-L1 line events. */
+    L1Filter(const L1FilterConfig &config, LineSink &sink);
+
+    void access(const MemRef &ref) override;
+
+    const CacheStats &il1Stats() const;
+    const CacheStats &dl1Stats() const;
+    const LineGeometry &geometry() const { return geom_; }
+
+    /** Replace the downstream sink (for staged experiments). */
+    void setSink(LineSink &sink) { sink_ = &sink; }
+
+  private:
+    L1FilterConfig config_;
+    LineGeometry geom_;
+    LineSink *sink_;
+
+    // Fully-associative backing (section 4.1)...
+    std::unique_ptr<FullyAssocLru> faIl1_;
+    std::unique_ptr<FullyAssocLru> faDl1_;
+    // ...or set-associative backing (section 4.2).
+    std::unique_ptr<Cache> saIl1_;
+    std::unique_ptr<Cache> saDl1_;
+};
+
+} // namespace xmig

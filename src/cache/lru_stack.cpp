@@ -1,0 +1,111 @@
+#include "cache/lru_stack.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+constexpr uint64_t kInitialSlots = 1 << 16;
+} // namespace
+
+LruStack::LruStack()
+    : bit_(kInitialSlots, 0)
+{
+}
+
+uint64_t
+LruStack::prefix(int64_t pos) const
+{
+    uint64_t sum = 0;
+    for (int64_t i = pos + 1; i > 0; i -= i & -i)
+        sum += static_cast<uint64_t>(bit_[i - 1]);
+    return sum;
+}
+
+void
+LruStack::update(int64_t pos, int64_t delta)
+{
+    const int64_t n = static_cast<int64_t>(bit_.size());
+    for (int64_t i = pos + 1; i <= n; i += i & -i)
+        bit_[i - 1] += delta;
+}
+
+void
+LruStack::compact()
+{
+    // Re-number timestamps 0..n-1 in recency order, keeping only the
+    // live (marked) slots; the tree then has room for another round
+    // of references before the next compaction.
+    std::vector<std::pair<uint64_t, uint64_t>> pairs; // (time, line)
+    pairs.reserve(last_.size());
+    for (const auto &[line, t] : last_)
+        pairs.emplace_back(t, line);
+    std::sort(pairs.begin(), pairs.end());
+
+    const uint64_t need = std::max<uint64_t>(kInitialSlots,
+                                             2 * pairs.size() + 16);
+    bit_.assign(need, 0);
+    uint64_t t = 0;
+    for (auto &[old_t, line] : pairs) {
+        last_[line] = t;
+        update(static_cast<int64_t>(t), +1);
+        ++t;
+    }
+    time_ = t;
+}
+
+uint64_t
+LruStack::access(uint64_t line)
+{
+    ++references_;
+    if (time_ >= bit_.size())
+        compact();
+
+    uint64_t depth = kInfiniteDepth;
+    auto it = last_.find(line);
+    if (it != last_.end()) {
+        const uint64_t prev = it->second;
+        // Lines whose most recent access is later than `prev` sit
+        // above this line in the stack.
+        const uint64_t newer = marked_ - prefix(static_cast<int64_t>(prev));
+        depth = newer + 1;
+        update(static_cast<int64_t>(prev), -1);
+        --marked_;
+        if (depth - 1 >= histogram_.size())
+            histogram_.resize(depth, 0);
+        ++histogram_[depth - 1];
+    } else {
+        ++coldRefs_;
+    }
+
+    last_[line] = time_;
+    update(static_cast<int64_t>(time_), +1);
+    ++marked_;
+    ++time_;
+    return depth;
+}
+
+uint64_t
+LruStack::missesAtSize(uint64_t depth) const
+{
+    // misses = cold refs + refs with finite depth > `depth`
+    uint64_t finite_hits = 0;
+    const uint64_t upto = std::min<uint64_t>(depth, histogram_.size());
+    for (uint64_t d = 0; d < upto; ++d)
+        finite_hits += histogram_[d];
+    uint64_t finite_total = references_ - coldRefs_;
+    return coldRefs_ + (finite_total - finite_hits);
+}
+
+double
+LruStack::missRatioAtSize(uint64_t depth) const
+{
+    if (references_ == 0)
+        return 0.0;
+    return static_cast<double>(missesAtSize(depth)) /
+           static_cast<double>(references_);
+}
+
+} // namespace xmig

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-pass Mattson LRU-stack profiler.
+ *
+ * Section 4.1 of the paper characterizes "splittability" by comparing
+ * LRU stack profiles (Mattson et al., 1970): p(x) is the fraction of
+ * references whose stack depth exceeds x, i.e. the miss ratio of a
+ * fully-associative LRU cache of x lines, for every x at once.
+ *
+ * This implementation computes exact stack distances in O(log n) per
+ * reference using a Fenwick tree over access timestamps, with periodic
+ * compaction so memory stays proportional to the number of distinct
+ * lines rather than to trace length.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace xmig {
+
+/**
+ * Exact LRU stack with a full depth histogram.
+ *
+ * Depths are 1-based: a reference immediately repeated has depth 1
+ * (hits in a 1-line cache). First touches report kInfiniteDepth.
+ */
+class LruStack
+{
+  public:
+    static constexpr uint64_t kInfiniteDepth =
+        std::numeric_limits<uint64_t>::max();
+
+    LruStack();
+
+    /** Process one reference; returns its stack depth. */
+    uint64_t access(uint64_t line);
+
+    /** Number of references processed. */
+    uint64_t references() const { return references_; }
+
+    /** Number of distinct lines seen (= footprint in lines). */
+    uint64_t distinctLines() const { return last_.size(); }
+
+    /** Number of first-touch (infinite-depth) references. */
+    uint64_t coldReferences() const { return coldRefs_; }
+
+    /**
+     * Histogram: histogram()[d-1] = number of references with depth
+     * exactly d (cold references excluded; see coldReferences()).
+     */
+    const std::vector<uint64_t> &histogram() const { return histogram_; }
+
+    /**
+     * Number of references with depth > `depth` (cold references
+     * included, matching the paper's p(x) definition where first
+     * touches have infinite depth).
+     */
+    uint64_t missesAtSize(uint64_t depth) const;
+
+    /** missesAtSize as a fraction of all references. */
+    double missRatioAtSize(uint64_t depth) const;
+
+  private:
+    void compact();
+
+    /** Fenwick prefix sum over [0, pos]. */
+    uint64_t prefix(int64_t pos) const;
+    void update(int64_t pos, int64_t delta);
+
+    std::unordered_map<uint64_t, uint64_t> last_; // line -> timestamp
+    std::vector<int64_t> bit_;                    // Fenwick over time
+    uint64_t time_ = 0;
+    uint64_t marked_ = 0; // number of set slots == distinct lines
+    uint64_t references_ = 0;
+    uint64_t coldRefs_ = 0;
+    std::vector<uint64_t> histogram_;
+};
+
+} // namespace xmig

@@ -1,0 +1,97 @@
+#include "core/direct_engine.hpp"
+
+#include "util/logging.hpp"
+#include "util/saturating.hpp"
+
+namespace xmig {
+
+DirectAffinityEngine::DirectAffinityEngine(const DirectEngineConfig &config)
+    : config_(config)
+{
+    if (config_.window == WindowKind::Fifo)
+        fifo_ = std::make_unique<FifoWindow>(config_.windowSize);
+    else
+        lru_ = std::make_unique<DistinctLruWindow>(config_.windowSize);
+}
+
+bool
+DirectAffinityEngine::inWindow(uint64_t line) const
+{
+    if (config_.window == WindowKind::Fifo) {
+        auto it = windowCount_.find(line);
+        return it != windowCount_.end() && it->second > 0;
+    }
+    return lru_->contains(line);
+}
+
+int64_t
+DirectAffinityEngine::reference(uint64_t line)
+{
+    ++references_;
+
+    // A_e(t_e) = 0 at first reference.
+    auto [it, inserted] = affinity_.try_emplace(line, 0);
+    const int64_t ae_before = it->second;
+
+    // Window update: e becomes a member; in the FIFO variant the
+    // oldest slot is displaced (possibly a duplicate of e itself).
+    if (config_.window == WindowKind::Fifo) {
+        WindowSlot evicted;
+        // The direct engine never consumes I_e; store 0.
+        if (fifo_->push(line, 0, &evicted)) {
+            auto cnt = windowCount_.find(evicted.line);
+            XMIG_ASSERT(cnt != windowCount_.end() && cnt->second > 0,
+                        "window count desync");
+            --cnt->second;
+        }
+        ++windowCount_[line];
+    } else if (lru_->contains(line)) {
+        lru_->touch(line);
+    } else {
+        WindowSlot evicted;
+        lru_->insert(line, 0, &evicted);
+    }
+
+    // A_R over the new window. For the FIFO variant this sums per
+    // slot, counting duplicates as many times as they appear, to
+    // match what the hardware register accumulates.
+    int64_t ar = 0;
+    if (config_.window == WindowKind::Fifo) {
+        fifo_->forEach([&](const WindowSlot &slot) {
+            ar += affinity_.at(slot.line);
+        });
+    } else {
+        lru_->forEach([&](const WindowSlot &slot) {
+            ar += affinity_.at(slot.line);
+        });
+    }
+
+    // Definition 1: members move toward sign(A_R), outsiders away.
+    const int s = affinitySign(ar);
+    for (auto &[e, a] : affinity_)
+        a += inWindow(e) ? s : -s;
+
+    // Recompute the post-update window affinity for observers.
+    int64_t ar_after = 0;
+    auto add = [&](const WindowSlot &slot) {
+        ar_after += affinity_.at(slot.line);
+    };
+    if (config_.window == WindowKind::Fifo)
+        fifo_->forEach(add);
+    else
+        lru_->forEach(add);
+    windowAffinity_ = ar_after;
+
+    return ae_before;
+}
+
+std::optional<int64_t>
+DirectAffinityEngine::affinityOf(uint64_t line) const
+{
+    auto it = affinity_.find(line);
+    if (it == affinity_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace xmig

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Direct (non-postponed) implementation of Definition 1.
+ *
+ * This engine stores the affinity A_e of every element explicitly and
+ * updates all of them on every reference — O(|S|) per reference, the
+ * very cost the postponed-update scheme exists to avoid. It is the
+ * executable specification: the property tests check that
+ * AffinityEngine (with ArKind::Exact) produces element-for-element
+ * identical affinities.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "core/rwindow.hpp"
+
+namespace xmig {
+
+/** Parameters of the direct engine (no saturation: test use only). */
+struct DirectEngineConfig
+{
+    size_t windowSize = 128;
+    WindowKind window = WindowKind::Fifo;
+};
+
+/**
+ * Executable specification of the affinity algorithm (Definition 1).
+ */
+class DirectAffinityEngine
+{
+  public:
+    explicit DirectAffinityEngine(const DirectEngineConfig &config);
+
+    /**
+     * Process a reference; returns A_e(t) of the referenced element
+     * before any update, exactly like AffinityEngine::reference.
+     */
+    int64_t reference(uint64_t line);
+
+    /** Current affinity of `line` (nullopt if never referenced). */
+    std::optional<int64_t> affinityOf(uint64_t line) const;
+
+    /** Current sum of affinities over the R-window. */
+    int64_t windowAffinity() const { return windowAffinity_; }
+
+    uint64_t references() const { return references_; }
+
+  private:
+    bool inWindow(uint64_t line) const;
+
+    DirectEngineConfig config_;
+    std::unordered_map<uint64_t, int64_t> affinity_; // all of S
+    std::unordered_map<uint64_t, uint64_t> windowCount_; // line -> slots
+    std::unique_ptr<FifoWindow> fifo_;
+    std::unique_ptr<DistinctLruWindow> lru_;
+    int64_t windowAffinity_ = 0;
+    uint64_t references_ = 0;
+};
+
+} // namespace xmig

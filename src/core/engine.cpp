@@ -1,0 +1,123 @@
+#include "core/engine.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+
+unsigned
+arBits(const EngineConfig &config)
+{
+    // bits[A_R] = bits[O_e] + log2(|R|)  (section 3.2)
+    const unsigned log_r = config.windowSize <= 1
+        ? 0
+        : static_cast<unsigned>(std::bit_width(config.windowSize - 1));
+    return config.affinityBits + log_r;
+}
+
+} // namespace
+
+AffinityEngine::AffinityEngine(const EngineConfig &config, OeStore &store)
+    : config_(config),
+      store_(store),
+      delta_(config.affinityBits + 1),
+      windowAffinity_(arBits(config))
+{
+    if (config_.window == WindowKind::Fifo)
+        fifo_ = std::make_unique<FifoWindow>(config_.windowSize);
+    else
+        lru_ = std::make_unique<DistinctLruWindow>(config_.windowSize);
+}
+
+int64_t
+AffinityEngine::saturate(int64_t v) const
+{
+    return saturateToBits(v, config_.affinityBits);
+}
+
+RefOutcome
+AffinityEngine::reference(uint64_t line)
+{
+    ++references_;
+    RefOutcome out;
+    const int64_t delta = delta_.get();
+    size_t members;
+
+    if (config_.window == WindowKind::DistinctLru && lru_->contains(line)) {
+        // Already in R: recency update only; A_e = I_e + Delta.
+        out.ae = lru_->ieOf(line) + delta;
+        out.inWindow = true;
+        lru_->touch(line);
+        members = lru_->size();
+        // Neither sum(I_e) nor the Figure-2 register changes.
+    } else {
+        // e enters R from outside: fetch O_e (miss installs Delta,
+        // forcing A_e = 0), derive A_e and I_e with the pre-update
+        // Delta, and handle the displaced line f symmetrically.
+        const int64_t oe = store_.lookup(line, delta);
+        out.ae = oe - delta;
+        const int64_t ie = saturate(oe - 2 * delta);
+
+        WindowSlot evicted;
+        bool have_evicted;
+        if (config_.window == WindowKind::Fifo) {
+            have_evicted = fifo_->push(line, ie, &evicted);
+            members = fifo_->size();
+        } else {
+            have_evicted = lru_->insert(line, ie, &evicted);
+            members = lru_->size();
+        }
+
+        int64_t of = 0;
+        if (have_evicted) {
+            of = saturate(evicted.ie + 2 * delta);
+            store_.store(evicted.line, of);
+        }
+
+        if (config_.ar == ArKind::Figure2) {
+            // Literal datapath: A_R += O_e - O_f.
+            windowAffinity_.add(oe - of);
+        } else {
+            sumIe_ += ie;
+            if (have_evicted)
+                sumIe_ -= evicted.ie;
+        }
+    }
+
+    if (config_.ar == ArKind::Exact) {
+        // A_R = sum over members of A_e = sum(I_e) + |R| * Delta.
+        windowAffinity_.set(sumIe_ +
+                            static_cast<int64_t>(members) * delta);
+    }
+
+    // Delta accumulates the sign of the (updated) window affinity;
+    // conceptually every member gains sign(A_R) and every outsider
+    // loses it, which the I_e / O_e invariants realize lazily.
+    delta_.add(affinitySign(windowAffinity_.get()));
+
+    if (config_.ar == ArKind::Exact) {
+        // Delta moved, so recompute the exact A_R for observers.
+        windowAffinity_.set(sumIe_ +
+                            static_cast<int64_t>(members) * delta_.get());
+    }
+    return out;
+}
+
+std::optional<int64_t>
+AffinityEngine::affinityOf(uint64_t line) const
+{
+    if (config_.window == WindowKind::Fifo) {
+        if (const WindowSlot *slot = fifo_->find(line))
+            return slot->ie + delta_.get();
+    } else if (lru_->contains(line)) {
+        return lru_->ieOf(line) + delta_.get();
+    }
+    if (auto oe = store_.peek(line))
+        return *oe - delta_.get();
+    return std::nullopt;
+}
+
+} // namespace xmig

@@ -1,0 +1,84 @@
+#include "core/kway_splitter.hpp"
+
+#include "util/hashing.hpp"
+#include "util/logging.hpp"
+
+namespace xmig {
+
+KWaySplitter::KWaySplitter(const Config &config, OeStore &store)
+    : config_(config)
+{
+    XMIG_ASSERT(config.depth >= 1 && config.depth <= 6,
+                "depth %u out of range", config.depth);
+    const size_t num_nodes = (size_t(1) << config.depth) - 1;
+    nodes_.reserve(num_nodes);
+    for (size_t i = 0; i < num_nodes; ++i) {
+        // Level of heap node i is floor(log2(i+1)).
+        unsigned level = 0;
+        for (size_t v = i + 1; v > 1; v >>= 1)
+            ++level;
+        EngineConfig ec;
+        ec.affinityBits = config.affinityBits;
+        ec.windowSize =
+            std::max<size_t>(4, config.rootWindow >> level);
+        ec.window = config.window;
+        ec.ar = config.ar;
+        Node node;
+        node.engine = std::make_unique<AffinityEngine>(ec, store);
+        node.filter =
+            std::make_unique<TransitionFilter>(config.filterBits);
+        nodes_.push_back(std::move(node));
+    }
+}
+
+size_t
+KWaySplitter::nodeOnPath(unsigned level) const
+{
+    size_t idx = 0;
+    for (unsigned l = 0; l < level; ++l)
+        idx = 2 * idx + (nodes_[idx].filter->side() > 0 ? 1 : 2);
+    return idx;
+}
+
+unsigned
+KWaySplitter::subset() const
+{
+    unsigned bits = 0;
+    size_t idx = 0;
+    for (unsigned l = 0; l < config_.depth; ++l) {
+        const bool negative = nodes_[idx].filter->side() < 0;
+        bits = (bits << 1) | (negative ? 1u : 0u);
+        idx = 2 * idx + (negative ? 2 : 1);
+    }
+    return bits;
+}
+
+SplitDecision
+KWaySplitter::onReference(uint64_t line, bool update_filter)
+{
+    SplitDecision out;
+    const unsigned before = subset();
+
+    const uint32_t h = hashMod31(line);
+    out.sampled = h < config_.samplingCutoff;
+    if (out.sampled) {
+        // Spread sampled residues over the tree levels. The offset
+        // makes depth 2 reproduce section 3.6 exactly: odd residues
+        // drive the root (X), even ones the selected second-level
+        // node (Y[sign(F_X)]).
+        const unsigned level =
+            (h + config_.depth - 1) % config_.depth;
+        Node &node = nodes_[nodeOnPath(level)];
+        out.ae = node.engine->reference(line).ae;
+        if (update_filter)
+            node.filter->update(out.ae);
+    }
+
+    out.subset = subset();
+    out.transition = out.subset != before;
+    if (out.transition)
+        ++transitions_;
+    return out;
+}
+
+} // namespace xmig

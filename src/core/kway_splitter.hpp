@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Generalized recursive k-way working-set splitting (k = 2^depth).
+ *
+ * The paper demonstrates 2-way and 4-way splitting and conjectures
+ * ("we believe it is possible") that the scheme adapts to a larger
+ * number of cores (section 6). This module realizes that conjecture:
+ * a complete binary tree of 2-way mechanisms, one per internal node.
+ * The root mechanism splits the whole working-set; the node at path
+ * p (a sign string) splits the subset selected by p. Which node a
+ * sampled line drives is chosen by H(e) mod depth — the same idea as
+ * section 3.6's odd/even split of the hash residues, extended so
+ * every tree level receives a share of the sampled lines. All nodes
+ * share one O_e store, and a node's R-window is |R_root| / 2^level,
+ * matching the paper's |R_Y| = |R_X| / 2 choice.
+ *
+ * The subset index of a line is the root-to-leaf path of filter
+ * signs. With depth = 2 this degenerates to exactly the paper's
+ * 4-way structure (modulo the level-selection hash, which maps odd
+ * residues to the root as section 3.6 does for depth 2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/splitter.hpp" // SplitDecision
+#include "core/transition_filter.hpp"
+
+namespace xmig {
+
+/**
+ * Recursive splitter for 2^depth subsets.
+ */
+class KWaySplitter
+{
+  public:
+    struct Config
+    {
+        unsigned depth = 3; ///< 2^depth subsets (1 => 2-way, 3 => 8-way)
+        unsigned affinityBits = 16;
+        size_t rootWindow = 128; ///< |R| of the root mechanism
+        WindowKind window = WindowKind::Fifo;
+        ArKind ar = ArKind::Exact;
+        unsigned filterBits = 20;
+        uint32_t samplingCutoff = 31;
+    };
+
+    KWaySplitter(const Config &config, OeStore &store);
+
+    /** Present one reference; see FourWaySplitter::onReference. */
+    SplitDecision onReference(uint64_t line, bool update_filter = true);
+
+    /** Current subset in [0, 2^depth). */
+    unsigned subset() const;
+
+    unsigned numSubsets() const { return 1u << config_.depth; }
+    uint64_t transitions() const { return transitions_; }
+
+    /** Mechanisms allocated (2^depth - 1 internal tree nodes). */
+    size_t numMechanisms() const { return nodes_.size(); }
+
+  private:
+    /** One tree node: a 2-way mechanism. */
+    struct Node
+    {
+        std::unique_ptr<AffinityEngine> engine;
+        std::unique_ptr<TransitionFilter> filter;
+    };
+
+    /**
+     * Tree index of the node on the current sign path at `level`
+     * (level 0 = root). Uses heap indexing: children of i are
+     * 2i+1 (filter positive) and 2i+2 (negative).
+     */
+    size_t nodeOnPath(unsigned level) const;
+
+    Config config_;
+    std::vector<Node> nodes_; ///< heap-ordered complete binary tree
+    uint64_t transitions_ = 0;
+};
+
+} // namespace xmig

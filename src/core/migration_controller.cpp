@@ -1,0 +1,116 @@
+#include "core/migration_controller.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+MigrationController::MigrationController(
+    const MigrationControllerConfig &config)
+    : config_(config)
+{
+    XMIG_ASSERT(config.numCores >= 2 && config.numCores <= 64 &&
+                (config.numCores & (config.numCores - 1)) == 0,
+                "splitting needs a power-of-two core count in [2, 64], "
+                "not %u", config.numCores);
+
+    if (config_.boundedStore) {
+        AffinityCacheConfig ac = config_.affinityCache;
+        ac.affinityBits = config_.affinityBits;
+        store_ = std::make_unique<AffinityCacheStore>(ac);
+    } else {
+        store_ = std::make_unique<UnboundedOeStore>(config_.affinityBits);
+    }
+
+    if (config_.numCores == 2) {
+        TwoWaySplitter::Config sc;
+        sc.engine.affinityBits = config_.affinityBits;
+        sc.engine.windowSize = config_.windowX;
+        sc.engine.window = config_.window;
+        sc.engine.ar = config_.ar;
+        sc.filterBits = config_.filterBits;
+        sc.samplingCutoff = config_.samplingCutoff;
+        two_ = std::make_unique<TwoWaySplitter>(sc, *store_);
+    } else if (config_.numCores == 4) {
+        FourWaySplitter::Config sc;
+        sc.affinityBits = config_.affinityBits;
+        sc.windowX = config_.windowX;
+        sc.windowY = config_.windowY;
+        sc.window = config_.window;
+        sc.ar = config_.ar;
+        sc.filterBits = config_.filterBits;
+        sc.samplingCutoff = config_.samplingCutoff;
+        four_ = std::make_unique<FourWaySplitter>(sc, *store_);
+    } else {
+        KWaySplitter::Config sc;
+        sc.depth = static_cast<unsigned>(
+            std::countr_zero(config_.numCores));
+        sc.affinityBits = config_.affinityBits;
+        sc.rootWindow = config_.windowX;
+        sc.window = config_.window;
+        sc.ar = config_.ar;
+        sc.filterBits = config_.filterBits;
+        sc.samplingCutoff = config_.samplingCutoff;
+        kway_ = std::make_unique<KWaySplitter>(sc, *store_);
+    }
+}
+
+unsigned
+MigrationController::subset() const
+{
+    if (two_)
+        return two_->subset();
+    if (four_)
+        return four_->subset();
+    return kway_->subset();
+}
+
+unsigned
+MigrationController::onRequest(uint64_t line, bool l2_miss,
+                               bool pointer_load)
+{
+    ++stats_.requests;
+    const bool update_filter =
+        (!config_.l2Filtering || l2_miss) &&
+        (!config_.pointerLoadFilter || pointer_load);
+
+    SplitDecision decision = two_
+        ? two_->onReference(line, update_filter)
+        : four_ ? four_->onReference(line, update_filter)
+                : kway_->onReference(line, update_filter);
+
+    if (decision.sampled && update_filter)
+        ++stats_.filterUpdates;
+    if (decision.transition)
+        ++stats_.transitions;
+
+    if (decision.subset != activeCore_) {
+        ++stats_.migrations;
+        activeCore_ = decision.subset;
+    }
+    return activeCore_;
+}
+
+std::optional<int64_t>
+MigrationController::affinityOf(uint64_t line) const
+{
+    if (two_)
+        return two_->engine().affinityOf(line);
+    if (four_)
+        return four_->engineX().affinityOf(line);
+    // The k-way tree shares one store; peek it directly.
+    return store_->peek(line);
+}
+
+uint64_t
+MigrationController::splitterTransitions() const
+{
+    if (two_)
+        return two_->transitions();
+    if (four_)
+        return four_->transitions();
+    return kway_->transitions();
+}
+
+} // namespace xmig

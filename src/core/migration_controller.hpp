@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The migration controller (section 3).
+ *
+ * The controller monitors the L1-miss request stream of the active
+ * core, runs the working-set splitter over it, and decides when and
+ * where to migrate execution. With L2 filtering enabled (section
+ * 3.4), the affinity machinery advances on every L1 miss but the
+ * transition filters — and therefore the migration target — can only
+ * change on an L2 miss.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/kway_splitter.hpp"
+#include "core/oe_store.hpp"
+#include "core/splitter.hpp"
+
+namespace xmig {
+
+/** Complete configuration of a migration controller. */
+struct MigrationControllerConfig
+{
+    /**
+     * Number of cores to split across: a power of two from 2 to 64.
+     * 2 and 4 use the paper's exact structures; larger counts use
+     * the generalized recursive splitter (KWaySplitter), realizing
+     * the section 6 conjecture.
+     */
+    unsigned numCores = 4;
+
+    unsigned affinityBits = 16;
+    size_t windowX = 128;
+    size_t windowY = 64;
+    WindowKind window = WindowKind::Fifo;
+    ArKind ar = ArKind::Exact;
+
+    /** Filter width: 20 bits in section 4.1, 18 in section 4.2. */
+    unsigned filterBits = 20;
+
+    /** H(e) sampling cutoff: 31 = track all lines, 8 = 25 %. */
+    uint32_t samplingCutoff = 31;
+
+    /** Update the transition filter only on L2 misses (section 3.4). */
+    bool l2Filtering = false;
+
+    /**
+     * Update the transition filter only on pointer-load requests
+     * (section 6): restricts migration triggers to the linked-data-
+     * structure accesses whose misses are the most expensive.
+     * Composes with l2Filtering (both conditions must hold).
+     */
+    bool pointerLoadFilter = false;
+
+    /** Use a finite affinity cache instead of unlimited storage. */
+    bool boundedStore = false;
+    AffinityCacheConfig affinityCache;
+};
+
+/** Aggregate controller statistics. */
+struct MigrationStats
+{
+    uint64_t requests = 0;      ///< L1-miss requests observed
+    uint64_t filterUpdates = 0; ///< requests that updated a filter
+    uint64_t transitions = 0;   ///< subset-index changes
+    uint64_t migrations = 0;    ///< active-core changes ordered
+};
+
+/**
+ * Decides when and where to migrate execution.
+ */
+class MigrationController
+{
+  public:
+    explicit MigrationController(const MigrationControllerConfig &config);
+
+    /**
+     * Present one post-L1 request for `line`.
+     *
+     * @param l2_miss whether the request missed the active core's L2
+     *        (meaningful only with L2 filtering)
+     * @param pointer_load whether the request came from a pointer
+     *        load (meaningful only with pointerLoadFilter)
+     * @return the core that should be active after this request; a
+     *         change relative to the previous value is a migration
+     */
+    unsigned onRequest(uint64_t line, bool l2_miss = true,
+                       bool pointer_load = true);
+
+    /** Core the controller currently maps the execution to. */
+    unsigned activeCore() const { return activeCore_; }
+
+    /** Subset the splitter currently selects (== activeCore()). */
+    unsigned subset() const;
+
+    const MigrationStats &stats() const { return stats_; }
+    const MigrationControllerConfig &config() const { return config_; }
+    const OeStore &store() const { return *store_; }
+
+    /** Current affinity of a line, if tracked (snapshots, tests). */
+    std::optional<int64_t> affinityOf(uint64_t line) const;
+
+    /** Transition counts of the underlying splitter. */
+    uint64_t splitterTransitions() const;
+
+  private:
+    MigrationControllerConfig config_;
+    std::unique_ptr<OeStore> store_;
+    std::unique_ptr<TwoWaySplitter> two_;
+    std::unique_ptr<FourWaySplitter> four_;
+    std::unique_ptr<KWaySplitter> kway_;
+    unsigned activeCore_ = 0;
+    MigrationStats stats_;
+};
+
+} // namespace xmig

@@ -1,0 +1,96 @@
+#include "core/oe_store.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+
+std::unique_ptr<TagStore>
+makeAffinityTags(const AffinityCacheConfig &config)
+{
+    XMIG_ASSERT(config.entries % config.ways == 0,
+                "affinity cache entries not divisible by ways");
+    const uint64_t sets = config.entries / config.ways;
+    XMIG_ASSERT(std::has_single_bit(sets),
+                "affinity cache sets must be a power of two");
+    if (config.skewed) {
+        return std::make_unique<SkewedTags>(sets, config.ways,
+                                            config.repl, config.seed);
+    }
+    return std::make_unique<SetAssocTags>(sets, config.ways,
+                                          config.repl, config.seed);
+}
+
+} // namespace
+
+AffinityCacheStore::AffinityCacheStore(const AffinityCacheConfig &config)
+    : config_(config),
+      tags_(makeAffinityTags(config))
+{
+    payload_.reserve(config.entries * 2);
+}
+
+int64_t
+AffinityCacheStore::lookup(uint64_t line, int64_t delta)
+{
+    ++stats_.lookups;
+    CacheEntry *entry = tags_->find(line);
+    if (entry) {
+        tags_->touch(*entry);
+        return payload_[line];
+    }
+    // Miss: allocate and force A_e = 0 by setting O_e = Delta.
+    ++stats_.misses;
+    CacheEntry victim;
+    bool victim_valid = false;
+    tags_->allocate(line, &victim, &victim_valid);
+    if (victim_valid)
+        payload_.erase(victim.line);
+    const int64_t oe = saturateToBits(delta, config_.affinityBits);
+    payload_[line] = oe;
+    return oe;
+}
+
+void
+AffinityCacheStore::store(uint64_t line, int64_t oe)
+{
+    ++stats_.stores;
+    const int64_t sat = saturateToBits(oe, config_.affinityBits);
+    CacheEntry *entry = tags_->find(line);
+    if (entry) {
+        tags_->touch(*entry);
+        payload_[line] = sat;
+        return;
+    }
+    // The entry was displaced while the line sat in the R-window;
+    // re-allocate, as a hardware write-allocate affinity cache would.
+    CacheEntry victim;
+    bool victim_valid = false;
+    tags_->allocate(line, &victim, &victim_valid);
+    if (victim_valid)
+        payload_.erase(victim.line);
+    payload_[line] = sat;
+}
+
+std::optional<int64_t>
+AffinityCacheStore::peek(uint64_t line) const
+{
+    const CacheEntry *entry = tags_->find(line);
+    if (!entry)
+        return std::nullopt;
+    auto it = payload_.find(line);
+    XMIG_ASSERT(it != payload_.end(), "tag/payload desync");
+    return it->second;
+}
+
+uint64_t
+AffinityCacheStore::storageBits(unsigned tag_bits) const
+{
+    return config_.entries *
+           (uint64_t(tag_bits) + config_.affinityBits + 2);
+}
+
+} // namespace xmig

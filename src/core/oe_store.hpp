@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Storage for the postponed affinity values O_e (the "affinity cache").
+ *
+ * Section 3.2's postponed-update scheme keeps O_e = A_e + Delta for
+ * every working-set line that is outside the R-window. Section 4.1
+ * assumes unlimited storage; section 4.2 uses a finite 8k-entry 4-way
+ * skewed-associative affinity cache with age-based replacement where a
+ * miss forces A_e = 0 by installing O_e = Delta.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/tags.hpp"
+#include "util/rng.hpp"
+#include "util/saturating.hpp"
+
+namespace xmig {
+
+/** Hit/miss statistics for an O_e store. */
+struct OeStoreStats
+{
+    uint64_t lookups = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;
+};
+
+/**
+ * Abstract O_e storage.
+ *
+ * lookup() is called when a line enters the R-window; store() when it
+ * leaves. Values are saturated to the configured affinity width.
+ */
+class OeStore
+{
+  public:
+    virtual ~OeStore() = default;
+
+    /**
+     * Fetch O_e for `line`. If no entry exists, one is created with
+     * O_e = `delta`, which forces A_e = O_e - Delta = 0 — the paper's
+     * initialization rule and its affinity-cache miss policy.
+     */
+    virtual int64_t lookup(uint64_t line, int64_t delta) = 0;
+
+    /** Write O_e back when `line` leaves the R-window. */
+    virtual void store(uint64_t line, int64_t oe) = 0;
+
+    /** Inspect O_e without allocating (snapshots, tests). */
+    virtual std::optional<int64_t> peek(uint64_t line) const = 0;
+
+    virtual const OeStoreStats &stats() const = 0;
+};
+
+/**
+ * How the affinity of a line first referenced is initialized.
+ *
+ * The paper's definition forces A_e(t_e) = 0, but section 3.3
+ * ("Initial affinity") also experiments with non-null constants and
+ * random values, observing that the algorithm still adapts and the
+ * transition frequency stays below one per 2|R| references.
+ */
+enum class OeInitPolicy : uint8_t
+{
+    ZeroAffinity,     ///< A_e = 0 (the paper's definition; default)
+    ConstantAffinity, ///< A_e = a fixed non-null constant
+    RandomAffinity,   ///< A_e = uniform over the affinity range
+};
+
+/**
+ * Unlimited O_e storage (hash map), as assumed in section 4.1.
+ */
+class UnboundedOeStore : public OeStore
+{
+  public:
+    /** @param affinity_bits saturation width for stored values. */
+    explicit UnboundedOeStore(unsigned affinity_bits = 16,
+                              OeInitPolicy init =
+                                  OeInitPolicy::ZeroAffinity,
+                              int64_t init_constant = 1000,
+                              uint64_t seed = 17)
+        : bits_(affinity_bits),
+          init_(init),
+          initConstant_(init_constant),
+          rng_(seed)
+    {
+    }
+
+    int64_t
+    lookup(uint64_t line, int64_t delta) override
+    {
+        ++stats_.lookups;
+        auto it = map_.find(line);
+        if (it != map_.end())
+            return it->second;
+        ++stats_.misses;
+        const int64_t oe = saturateToBits(delta + initialAffinity(),
+                                          bits_);
+        map_.emplace(line, oe);
+        return oe;
+    }
+
+    void
+    store(uint64_t line, int64_t oe) override
+    {
+        ++stats_.stores;
+        map_[line] = saturateToBits(oe, bits_);
+    }
+
+    std::optional<int64_t>
+    peek(uint64_t line) const override
+    {
+        auto it = map_.find(line);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    const OeStoreStats &stats() const override { return stats_; }
+
+    uint64_t entries() const { return map_.size(); }
+
+  private:
+    /** A_e assigned at first reference (O_e = Delta + this). */
+    int64_t
+    initialAffinity()
+    {
+        switch (init_) {
+          case OeInitPolicy::ZeroAffinity:
+            return 0;
+          case OeInitPolicy::ConstantAffinity:
+            return initConstant_;
+          case OeInitPolicy::RandomAffinity: {
+            const int64_t range = SatInt::maxForBits(bits_);
+            return static_cast<int64_t>(
+                       rng_.below(2 * static_cast<uint64_t>(range))) -
+                   range;
+          }
+        }
+        return 0;
+    }
+
+    unsigned bits_;
+    OeInitPolicy init_;
+    int64_t initConstant_;
+    Rng rng_;
+    std::unordered_map<uint64_t, int64_t> map_;
+    OeStoreStats stats_;
+};
+
+/** Configuration of the finite affinity cache (section 3.5 / 4.2). */
+struct AffinityCacheConfig
+{
+    uint64_t entries = 8 * 1024;  ///< total entries (paper: 8k)
+    unsigned ways = 4;            ///< associativity (paper: 4, skewed)
+    bool skewed = true;
+    ReplPolicy repl = ReplPolicy::Age; ///< "age-based replacement"
+    unsigned affinityBits = 16;
+    uint64_t seed = 7;
+};
+
+/**
+ * Finite, tagged affinity cache.
+ *
+ * Entry payload is a saturated O_e value; misses install O_e = Delta
+ * so the transition filter is not perturbed by untracked lines
+ * (section 4.2 relies on this to suppress migrations for working-sets
+ * far larger than the total L2 capacity).
+ */
+class AffinityCacheStore : public OeStore
+{
+  public:
+    explicit AffinityCacheStore(const AffinityCacheConfig &config);
+
+    int64_t lookup(uint64_t line, int64_t delta) override;
+    void store(uint64_t line, int64_t oe) override;
+    std::optional<int64_t> peek(uint64_t line) const override;
+    const OeStoreStats &stats() const override { return stats_; }
+
+    uint64_t occupancy() const { return tags_->occupancy(); }
+    const AffinityCacheConfig &config() const { return config_; }
+
+    /**
+     * Approximate storage cost in bytes: per entry, `tag_bits` of tag,
+     * the affinity value, and 2 age bits (section 3.5's accounting).
+     */
+    uint64_t storageBits(unsigned tag_bits = 20) const;
+
+  private:
+    AffinityCacheConfig config_;
+    std::unique_ptr<TagStore> tags_;
+    std::unordered_map<uint64_t, int64_t> payload_; // line -> O_e
+    OeStoreStats stats_;
+};
+
+} // namespace xmig

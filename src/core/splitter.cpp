@@ -1,0 +1,113 @@
+#include "core/splitter.hpp"
+
+namespace xmig {
+
+TwoWaySplitter::TwoWaySplitter(const Config &config, OeStore &store)
+    : config_(config),
+      engine_(config.engine, store),
+      filter_(config.filterBits)
+{
+}
+
+SplitDecision
+TwoWaySplitter::onReference(uint64_t line, bool update_filter)
+{
+    SplitDecision out;
+    const unsigned before = subset();
+    out.sampled = sampledLine(line, config_.samplingCutoff);
+    if (out.sampled) {
+        out.ae = engine_.reference(line).ae;
+        if (update_filter)
+            filter_.update(out.ae);
+    }
+    out.subset = subset();
+    out.transition = out.subset != before;
+    if (out.transition)
+        ++transitions_;
+    return out;
+}
+
+namespace {
+
+EngineConfig
+engineConfigOf(const FourWaySplitter::Config &config, size_t window)
+{
+    EngineConfig ec;
+    ec.affinityBits = config.affinityBits;
+    ec.windowSize = window;
+    ec.window = config.window;
+    ec.ar = config.ar;
+    return ec;
+}
+
+} // namespace
+
+FourWaySplitter::FourWaySplitter(const Config &config, OeStore &store)
+    : config_(config),
+      engineX_(engineConfigOf(config, config.windowX), store),
+      engineYPos_(engineConfigOf(config, config.windowY), store),
+      engineYNeg_(engineConfigOf(config, config.windowY), store),
+      filterX_(config.filterBits),
+      filterYPos_(config.filterBits),
+      filterYNeg_(config.filterBits)
+{
+}
+
+const TransitionFilter &
+FourWaySplitter::filterY(int side_x) const
+{
+    return side_x >= 0 ? filterYPos_ : filterYNeg_;
+}
+
+TransitionFilter &
+FourWaySplitter::filterYMut(int side_x)
+{
+    return side_x >= 0 ? filterYPos_ : filterYNeg_;
+}
+
+AffinityEngine &
+FourWaySplitter::engineY(int side_x)
+{
+    return side_x >= 0 ? engineYPos_ : engineYNeg_;
+}
+
+unsigned
+FourWaySplitter::subset() const
+{
+    const int sx = filterX_.side();
+    const int sy = filterY(sx).side();
+    return (sx > 0 ? 0u : 2u) | (sy > 0 ? 0u : 1u);
+}
+
+SplitDecision
+FourWaySplitter::onReference(uint64_t line, bool update_filter)
+{
+    SplitDecision out;
+    const unsigned before = subset();
+
+    const uint32_t h = hashMod31(line);
+    out.sampled = h < config_.samplingCutoff;
+    if (out.sampled) {
+        if (h & 1) {
+            // Odd residues drive the whole-set mechanism X.
+            out.ae = engineX_.reference(line).ae;
+            if (update_filter)
+                filterX_.update(out.ae);
+        } else {
+            // Even residues drive the half-set mechanism selected by
+            // the current sign of F_X.
+            const int sx = filterX_.side();
+            out.ae = engineY(sx).reference(line).ae;
+            if (update_filter)
+                filterYMut(sx).update(out.ae);
+        }
+    }
+
+    out.subset = subset();
+    out.transition = out.subset != before;
+    if (out.transition)
+        ++transitions_;
+    return out;
+}
+
+} // namespace xmig

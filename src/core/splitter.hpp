@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Working-set splitters: 2-way (section 3.2-3.4) and recursive 4-way
+ * (section 3.6).
+ *
+ * A splitter combines affinity engines with transition filters and
+ * working-set sampling into the decision structure of the paper: the
+ * *sign of the filter(s)*, not of the raw affinity, names the subset
+ * each referenced line belongs to.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/transition_filter.hpp"
+#include "util/hashing.hpp"
+
+namespace xmig {
+
+/** Outcome of presenting one reference to a splitter. */
+struct SplitDecision
+{
+    unsigned subset = 0;     ///< subset index after the update
+    bool transition = false; ///< the subset index changed
+    bool sampled = false;    ///< line participated in affinity tracking
+    int64_t ae = 0;          ///< A_e used (0 when not sampled)
+};
+
+/**
+ * 2-way splitter: one mechanism X = engine + filter F_X.
+ */
+class TwoWaySplitter
+{
+  public:
+    struct Config
+    {
+        EngineConfig engine;
+        unsigned filterBits = 20;
+        /** Track lines with H(e) < cutoff; 31 disables sampling. */
+        uint32_t samplingCutoff = 31;
+    };
+
+    TwoWaySplitter(const Config &config, OeStore &store);
+
+    /**
+     * Present a reference.
+     * @param update_filter false implements L2 filtering: the engine
+     *        state advances but the filter (and hence the subset)
+     *        cannot change.
+     */
+    SplitDecision onReference(uint64_t line, bool update_filter = true);
+
+    /** Current subset: 0 (filter >= 0) or 1 (filter < 0). */
+    unsigned subset() const { return filter_.side() > 0 ? 0 : 1; }
+
+    uint64_t transitions() const { return transitions_; }
+    const TransitionFilter &filter() const { return filter_; }
+    const AffinityEngine &engine() const { return engine_; }
+    AffinityEngine &engine() { return engine_; }
+
+  private:
+    Config config_;
+    AffinityEngine engine_;
+    TransitionFilter filter_;
+    uint64_t transitions_ = 0;
+};
+
+/**
+ * 4-way splitter: mechanism X over the whole working-set plus
+ * mechanisms Y[+1], Y[-1] over the two halves, all sharing one O_e
+ * store. Odd H(e) drives X; even H(e) drives Y[sign(F_X)]. The
+ * subset is (sign(F_X), sign(F_Y[sign(F_X)])).
+ */
+class FourWaySplitter
+{
+  public:
+    struct Config
+    {
+        unsigned affinityBits = 16;
+        size_t windowX = 128; ///< |R_X|
+        size_t windowY = 64;  ///< |R_Y[+1]| = |R_Y[-1]| = |R_X| / 2
+        WindowKind window = WindowKind::Fifo;
+        ArKind ar = ArKind::Exact;
+        unsigned filterBits = 20;
+        uint32_t samplingCutoff = 31;
+    };
+
+    FourWaySplitter(const Config &config, OeStore &store);
+
+    SplitDecision onReference(uint64_t line, bool update_filter = true);
+
+    /**
+     * Current subset in [0, 4): bit 1 encodes sign(F_X), bit 0 the
+     * sign of the selected Y filter.
+     */
+    unsigned subset() const;
+
+    uint64_t transitions() const { return transitions_; }
+
+    const TransitionFilter &filterX() const { return filterX_; }
+    const TransitionFilter &filterY(int side_x) const;
+    const AffinityEngine &engineX() const { return engineX_; }
+
+  private:
+    AffinityEngine &engineY(int side_x);
+    TransitionFilter &filterYMut(int side_x);
+
+    Config config_;
+    AffinityEngine engineX_;
+    AffinityEngine engineYPos_;
+    AffinityEngine engineYNeg_;
+    TransitionFilter filterX_;
+    TransitionFilter filterYPos_;
+    TransitionFilter filterYNeg_;
+    uint64_t transitions_ = 0;
+};
+
+} // namespace xmig

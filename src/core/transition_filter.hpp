@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The transition filter of section 3.4.
+ *
+ * An up-down saturating counter F accumulates the affinity of each
+ * reference: F += A_e. The subset an element is assigned to is the
+ * sign of F rather than the sign of A_e, which damps migrations on
+ * working-sets that are not "splittable": with b extra filter bits
+ * beyond the affinity width, a random saturated-affinity stream flips
+ * F's sign about every 2^(1+b) references.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/saturating.hpp"
+
+namespace xmig {
+
+/**
+ * Up-down saturating transition filter.
+ */
+class TransitionFilter
+{
+  public:
+    /** @param bits counter width (paper: 18 or 20). */
+    explicit TransitionFilter(unsigned bits)
+        : counter_(bits)
+    {
+    }
+
+    /**
+     * Accumulate the affinity of a reference. Returns true if the
+     * filter's sign flipped (a *transition*).
+     */
+    bool
+    update(int64_t ae)
+    {
+        const int before = side();
+        counter_.add(ae);
+        const bool flipped = side() != before;
+        if (flipped)
+            ++transitions_;
+        ++updates_;
+        return flipped;
+    }
+
+    /** Which subset the filter currently selects: +1 or -1. */
+    int side() const { return affinitySign(counter_.get()); }
+
+    int64_t value() const { return counter_.get(); }
+    bool saturated() const { return counter_.saturated(); }
+
+    uint64_t transitions() const { return transitions_; }
+    uint64_t updates() const { return updates_; }
+
+  private:
+    SatInt counter_;
+    uint64_t transitions_ = 0;
+    uint64_t updates_ = 0;
+};
+
+} // namespace xmig

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cache-line address arithmetic.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+/**
+ * Maps byte addresses to line addresses for a given line size.
+ *
+ * The paper uses 64-byte lines throughout, except for the line-size
+ * ablation in section 4.1, so the size is a runtime parameter.
+ */
+class LineGeometry
+{
+  public:
+    explicit LineGeometry(uint64_t line_bytes = 64)
+        : bytes_(line_bytes),
+          shift_(static_cast<unsigned>(std::countr_zero(line_bytes)))
+    {
+        XMIG_ASSERT(line_bytes >= 4 && std::has_single_bit(line_bytes),
+                    "line size %llu must be a power of two >= 4",
+                    (unsigned long long)line_bytes);
+    }
+
+    uint64_t lineBytes() const { return bytes_; }
+    unsigned lineShift() const { return shift_; }
+
+    /** Line address (byte address divided by line size). */
+    uint64_t lineOf(uint64_t byte_addr) const { return byte_addr >> shift_; }
+
+    /** First byte address of a line. */
+    uint64_t byteOf(uint64_t line_addr) const { return line_addr << shift_; }
+
+    /** Number of lines covering `bytes` bytes of capacity. */
+    uint64_t linesIn(uint64_t bytes) const { return bytes >> shift_; }
+
+  private:
+    uint64_t bytes_;
+    unsigned shift_;
+};
+
+} // namespace xmig

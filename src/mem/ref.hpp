@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dynamic memory-reference types.
+ *
+ * All experiments in this repository are trace-driven: a workload
+ * executes and emits a stream of MemRef events (one instruction fetch
+ * per dynamic instruction, plus its loads and stores), which the cache
+ * models and the migration controller consume. This mirrors the
+ * SimpleScalar functional-simulation methodology of the paper.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace xmig {
+
+/** Kind of a dynamic memory reference. */
+enum class RefType : uint8_t
+{
+    Ifetch, ///< instruction fetch; one per dynamic instruction
+    Load,   ///< data read
+    Store,  ///< data write
+};
+
+/** One dynamic reference: a byte address plus its kind. */
+struct MemRef
+{
+    uint64_t addr = 0;
+    RefType type = RefType::Load;
+
+    /**
+     * Load whose result is used as an address (a pointer load).
+     * Section 6 of the paper suggests restricting transition-filter
+     * updates to such requests, since pointer loads in linked data
+     * structures carry the highest miss penalties.
+     */
+    bool pointer = false;
+
+    bool isIfetch() const { return type == RefType::Ifetch; }
+    bool isData() const { return type != RefType::Ifetch; }
+    bool isStore() const { return type == RefType::Store; }
+
+    static MemRef ifetch(uint64_t a) { return {a, RefType::Ifetch}; }
+    static MemRef load(uint64_t a) { return {a, RefType::Load}; }
+    static MemRef store(uint64_t a) { return {a, RefType::Store}; }
+
+    /** A pointer-chasing load (see `pointer`). */
+    static MemRef
+    pointerLoad(uint64_t a)
+    {
+        return {a, RefType::Load, true};
+    }
+
+    bool
+    operator==(const MemRef &other) const
+    {
+        return addr == other.addr && type == other.type &&
+               pointer == other.pointer;
+    }
+};
+
+} // namespace xmig

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reference-stream plumbing: sinks, recorders, and composition.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/ref.hpp"
+
+namespace xmig {
+
+/**
+ * Consumer of a dynamic reference stream.
+ *
+ * Cache models, LRU-stack profilers, the migration controller, and
+ * whole machines all implement RefSink so that any workload can drive
+ * any of them.
+ */
+class RefSink
+{
+  public:
+    virtual ~RefSink() = default;
+
+    /** Process one dynamic reference. */
+    virtual void access(const MemRef &ref) = 0;
+};
+
+/** Sink that discards everything (useful for warm-up or plumbing). */
+class NullSink : public RefSink
+{
+  public:
+    void access(const MemRef &) override {}
+};
+
+/** Sink that stores the stream for replay in tests. */
+class RefRecorder : public RefSink
+{
+  public:
+    void access(const MemRef &ref) override { refs_.push_back(ref); }
+
+    const std::vector<MemRef> &refs() const { return refs_; }
+    void clear() { refs_.clear(); }
+
+    /** Replay the recorded stream into another sink. */
+    void
+    replay(RefSink &sink) const
+    {
+        for (const auto &r : refs_)
+            sink.access(r);
+    }
+
+  private:
+    std::vector<MemRef> refs_;
+};
+
+/** Sink that forwards each reference to two downstream sinks. */
+class TeeSink : public RefSink
+{
+  public:
+    TeeSink(RefSink &first, RefSink &second)
+        : first_(first), second_(second)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        first_.access(ref);
+        second_.access(ref);
+    }
+
+  private:
+    RefSink &first_;
+    RefSink &second_;
+};
+
+/** Sink that counts references by type. */
+class RefCounter : public RefSink
+{
+  public:
+    void
+    access(const MemRef &ref) override
+    {
+        switch (ref.type) {
+          case RefType::Ifetch:
+            ++ifetches_;
+            break;
+          case RefType::Load:
+            ++loads_;
+            break;
+          case RefType::Store:
+            ++stores_;
+            break;
+        }
+    }
+
+    uint64_t ifetches() const { return ifetches_; }
+    uint64_t loads() const { return loads_; }
+    uint64_t stores() const { return stores_; }
+    uint64_t total() const { return ifetches_ + loads_ + stores_; }
+
+    /** One dynamic instruction per instruction fetch. */
+    uint64_t instructions() const { return ifetches_; }
+
+  private:
+    uint64_t ifetches_ = 0;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+};
+
+} // namespace xmig

@@ -1,0 +1,160 @@
+#include "mem/trace_io.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+
+constexpr char kMagic[8] = {'X', 'M', 'I', 'G', 'T', 'R', 'C', '1'};
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+           -static_cast<int64_t>(v & 1);
+}
+
+void
+writeVarint(std::FILE *file, uint64_t v)
+{
+    unsigned char buf[10];
+    size_t n = 0;
+    while (v >= 0x80) {
+        buf[n++] = static_cast<unsigned char>(v | 0x80);
+        v >>= 7;
+    }
+    buf[n++] = static_cast<unsigned char>(v);
+    if (std::fwrite(buf, 1, n, file) != n)
+        XMIG_FATAL("trace write failed");
+}
+
+/** Returns false on clean EOF; fatal on a truncated varint. */
+bool
+readVarint(std::FILE *file, uint64_t *out, bool at_record_start)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = std::fgetc(file);
+        if (c == EOF) {
+            if (at_record_start && shift == 0)
+                return false;
+            XMIG_FATAL("truncated trace file");
+        }
+        v |= (static_cast<uint64_t>(c) & 0x7f) << shift;
+        if ((c & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift >= 64)
+            XMIG_FATAL("corrupt varint in trace file");
+    }
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        XMIG_FATAL("cannot open trace file '%s' for writing",
+                   path.c_str());
+    if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic))
+        XMIG_FATAL("trace write failed");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::access(const MemRef &ref)
+{
+    XMIG_ASSERT(file_ != nullptr, "trace writer already closed");
+    const unsigned type = static_cast<unsigned>(ref.type);
+    const unsigned char control = static_cast<unsigned char>(
+        type | (ref.pointer ? 0x4 : 0x0));
+    if (std::fputc(control, file_) == EOF)
+        XMIG_FATAL("trace write failed");
+    const int64_t delta = static_cast<int64_t>(ref.addr) -
+                          static_cast<int64_t>(lastAddr_[type]);
+    writeVarint(file_, zigzag(delta));
+    lastAddr_[type] = ref.addr;
+    ++records_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    if (std::fclose(file_) != 0)
+        XMIG_FATAL("trace close failed");
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        XMIG_FATAL("cannot open trace file '%s'", path.c_str());
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        XMIG_FATAL("'%s' is not an xmig trace file", path.c_str());
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(MemRef *ref)
+{
+    const int c = std::fgetc(file_);
+    if (c == EOF)
+        return false;
+    const unsigned type = static_cast<unsigned>(c) & 0x3;
+    if (type > 2)
+        XMIG_FATAL("corrupt record type in trace file");
+    uint64_t encoded;
+    if (!readVarint(file_, &encoded, false))
+        return false; // unreachable: readVarint is fatal mid-record
+    const int64_t delta = unzigzag(encoded);
+    lastAddr_[type] = static_cast<uint64_t>(
+        static_cast<int64_t>(lastAddr_[type]) + delta);
+    ref->addr = lastAddr_[type];
+    ref->type = static_cast<RefType>(type);
+    ref->pointer = (c & 0x4) != 0;
+    return true;
+}
+
+uint64_t
+TraceReader::replay(RefSink &sink)
+{
+    uint64_t n = 0;
+    MemRef ref;
+    while (next(&ref)) {
+        sink.access(ref);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace xmig

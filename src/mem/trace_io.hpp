@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Binary reference-trace files: record once, replay many times.
+ *
+ * The paper's methodology is trace-driven (SimpleScalar functional
+ * simulation). This module provides the trace-file analogue for this
+ * library: a TraceWriter sink that streams MemRefs into a compact
+ * delta-compressed binary file, and a TraceReader that replays them
+ * into any RefSink. Typical use: capture an expensive kernel run
+ * once, then sweep controller configurations over the recorded trace.
+ *
+ * Format (all little-endian):
+ *   8-byte magic "XMIGTRC1"
+ *   records: 1 control byte
+ *              bits 0-1: RefType
+ *              bit  2:   pointer-load flag
+ *            + LEB128 varint of the zigzag-encoded delta between
+ *              this address and the previous address *of the same
+ *              type* (instruction and data streams delta-compress
+ *              independently and much better that way).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "mem/ref.hpp"
+#include "mem/trace.hpp"
+
+namespace xmig {
+
+/**
+ * RefSink that appends every reference to a trace file.
+ */
+class TraceWriter : public RefSink
+{
+  public:
+    /** Opens (truncates) `path`; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void access(const MemRef &ref) override;
+
+    /** Flush and close; further access() calls are an error. */
+    void close();
+
+    uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t lastAddr_[3] = {0, 0, 0}; // per RefType
+    uint64_t records_ = 0;
+};
+
+/**
+ * Reads a trace file written by TraceWriter.
+ */
+class TraceReader
+{
+  public:
+    /** Opens `path`; fatal on failure or bad magic. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Read the next reference. Returns false at end of file. */
+    bool next(MemRef *ref);
+
+    /** Replay the remaining records into `sink`; returns the count. */
+    uint64_t replay(RefSink &sink);
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t lastAddr_[3] = {0, 0, 0};
+};
+
+} // namespace xmig

@@ -1,0 +1,240 @@
+#include "multicore/machine.hpp"
+
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+MigrationMachine::MigrationMachine(const MachineConfig &config)
+    : config_(config)
+{
+    XMIG_ASSERT(config.numCores == 1 ||
+                (config.numCores <= 64 &&
+                 (config.numCores & (config.numCores - 1)) == 0),
+                "numCores must be 1 or a power of two up to 64");
+
+    L1FilterConfig l1c;
+    l1c.il1Bytes = config.il1Bytes;
+    l1c.dl1Bytes = config.dl1Bytes;
+    l1c.lineBytes = config.lineBytes;
+    l1c.fullyAssociative = false;
+    l1c.ways = config.l1Ways;
+    l1c.unifiedReadWrite = false; // write-through, non-write-allocate DL1
+    // Plain new: the LineSink base is private, so the derived-to-base
+    // conversion must happen here, in class scope, not in make_unique.
+    l1_.reset(new L1Filter(l1c, *this));
+
+    CacheConfig l2c;
+    l2c.capacityBytes = config.l2Bytes;
+    l2c.ways = config.l2Ways;
+    l2c.lineBytes = config.lineBytes;
+    l2c.write = WritePolicy::WriteBackAllocate;
+    l2c.skewed = config.l2Skewed;
+    for (unsigned c = 0; c < config.numCores; ++c) {
+        l2c.seed = 11 + c;
+        l2s_.push_back(std::make_unique<Cache>(l2c));
+    }
+
+    if (config.numCores > 1) {
+        MigrationControllerConfig cc = config.controller;
+        cc.numCores = config.numCores;
+        controller_ = std::make_unique<MigrationController>(cc);
+    }
+
+    if (config.prefetch.kind != PrefetchKind::None)
+        prefetcher_ = std::make_unique<Prefetcher>(config.prefetch);
+
+    if (config.l3Bytes > 0) {
+        CacheConfig l3c;
+        l3c.capacityBytes = config.l3Bytes;
+        l3c.ways = config.l3Ways;
+        l3c.lineBytes = config.lineBytes;
+        l3c.write = WritePolicy::WriteBackAllocate;
+        l3c.skewed = false;
+        l3c.seed = 99;
+        l3_ = std::make_unique<Cache>(l3c);
+    }
+}
+
+void
+MigrationMachine::access(const MemRef &ref)
+{
+    ++stats_.refs;
+    if (ref.isIfetch())
+        ++stats_.instructions;
+    l1_->access(ref); // forwards post-L1 events to onLine()
+}
+
+void
+MigrationMachine::onLine(const LineEvent &event)
+{
+    const bool is_store = event.type == RefType::Store;
+    if (event.l1Miss)
+        ++stats_.l1Misses;
+
+    if (controller_ && event.l1Miss) {
+        // The controller monitors L1-miss requests. With L2 filtering
+        // its transition filters move only when the request would
+        // miss the *current* active core's L2, so probe before
+        // deciding.
+        const bool l2_miss = !l2s_[activeCore_]->contains(event.line);
+        const unsigned target =
+            controller_->onRequest(event.line, l2_miss, event.pointer);
+        if (target != activeCore_) {
+            ++stats_.migrations;
+            activeCore_ = target;
+        }
+    }
+
+    // The request is serviced by the L2 of the core that is active
+    // after any migration: that is the point of distributing the
+    // working-set.
+    accessL2(event.line, is_store);
+
+    if (is_store)
+        broadcastStore(event.line);
+}
+
+void
+MigrationMachine::accessL2(uint64_t line, bool is_store)
+{
+    ++stats_.l2Accesses;
+    Cache &l2 = *l2s_[activeCore_];
+    AccessOutcome out = l2.access(line, is_store);
+    if (out.writeback) {
+        ++stats_.l3Writebacks;
+        writebackToL3(out.evictedLine);
+    }
+    if (out.hit) {
+        CacheEntry *entry = l2.findEntry(line);
+        if (entry && entry->prefetched) {
+            entry->prefetched = false;
+            ++stats_.prefetchUseful;
+        }
+        if (prefetcher_) // stride training sees hits too
+            issuePrefetches(line, /*miss=*/false);
+        return;
+    }
+
+    ++stats_.l2Misses;
+    if (prefetcher_)
+        issuePrefetches(line, /*miss=*/true);
+    if (!out.filled)
+        return; // WT store miss at L2 would not occur (L2 is WB/WA)
+
+    // The miss was filled; find out where the data came from. A
+    // modified remote copy is forwarded (L2-to-L2 miss) and written
+    // back to L3 with its modified bit reset; otherwise the line
+    // comes from L3. Either way the penalty class is the same
+    // (section 2.1), but we count forwards separately.
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        if (c == activeCore_)
+            continue;
+        CacheEntry *remote = l2s_[c]->findEntry(line);
+        if (remote && remote->modified) {
+            remote->modified = false;
+            ++stats_.l2ToL2Forwards;
+            ++stats_.l3Writebacks; // simultaneous write-back to L3
+            writebackToL3(line);
+            return;                // at most one modified copy exists
+        }
+    }
+    // No forwardable copy: the line comes from the L3.
+    fetchFromL3(line);
+}
+
+void
+MigrationMachine::issuePrefetches(uint64_t line, bool miss)
+{
+    prefetchCandidates_.clear();
+    prefetcher_->onDemand(line, miss, prefetchCandidates_);
+    Cache &l2 = *l2s_[activeCore_];
+    for (uint64_t candidate : prefetchCandidates_) {
+        if (l2.contains(candidate))
+            continue;
+        AccessOutcome out = l2.fill(candidate, false);
+        if (out.writeback) {
+            ++stats_.l3Writebacks;
+            writebackToL3(out.evictedLine);
+        }
+        fetchFromL3(candidate);
+        if (CacheEntry *entry = l2.findEntry(candidate)) {
+            entry->prefetched = true;
+            ++stats_.prefetchFills;
+        }
+    }
+}
+
+void
+MigrationMachine::fetchFromL3(uint64_t line)
+{
+    if (!l3_)
+        return; // perfect L3: always hits, nothing to track
+    ++stats_.l3Accesses;
+    AccessOutcome out = l3_->access(line, false);
+    if (out.writeback)
+        ++stats_.memoryWritebacks;
+    if (!out.hit)
+        ++stats_.l3Misses; // fetched from memory (and filled)
+}
+
+void
+MigrationMachine::writebackToL3(uint64_t line)
+{
+    if (!l3_)
+        return;
+    // A write-back allocates in the L3 and marks the line dirty; a
+    // dirty L3 eviction goes to memory.
+    AccessOutcome out = l3_->access(line, true);
+    if (out.writeback)
+        ++stats_.memoryWritebacks;
+}
+
+void
+MigrationMachine::broadcastStore(uint64_t line)
+{
+    // Update bus: the store value reaches every inactive copy, whose
+    // modified bit is reset so that at most the active core's copy is
+    // modified (section 2.1). Values are not modeled, only state.
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        if (c == activeCore_)
+            continue;
+        CacheEntry *copy = l2s_[c]->findEntry(line);
+        if (copy) {
+            copy->modified = false;
+            ++stats_.updateBusStores;
+        }
+    }
+}
+
+void
+MigrationMachine::resetStats()
+{
+    stats_ = {};
+    for (auto &l2 : l2s_)
+        l2->resetStats();
+    if (l3_)
+        l3_->resetStats();
+}
+
+uint64_t
+MigrationMachine::countMultiModifiedLines() const
+{
+    // Collect modified lines per core and count collisions.
+    std::unordered_map<uint64_t, unsigned> modified_copies;
+    for (const auto &l2 : l2s_) {
+        l2->tags().forEachValid([&](const CacheEntry &e) {
+            if (e.modified)
+                ++modified_copies[e.line];
+        });
+    }
+    uint64_t bad = 0;
+    for (const auto &[line, n] : modified_copies) {
+        if (n > 1)
+            ++bad;
+    }
+    return bad;
+}
+
+} // namespace xmig

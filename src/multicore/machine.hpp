@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The migration-mode multi-core machine of section 2.
+ *
+ * Structure (Figure 1): each core has 16-KB IL1/DL1 and a private
+ * 512-KB L2; an L3 is shared by all cores. In migration mode a single
+ * sequential program runs on one *active* core at a time and may
+ * migrate; L1 contents are mirrored across cores via broadcast fills
+ * (so the machine models the L1 level as one shared filter — exactly
+ * equivalent), and L2 coherence follows the modified-bit rules of
+ * section 2.1:
+ *
+ *  - a store on the active core sets its copy's modified bit and
+ *    *resets* (not invalidates) the modified bit of inactive copies,
+ *    whose values the update bus keeps coherent;
+ *  - at most one copy of a line is modified at any time;
+ *  - a modified remote copy can be forwarded on an L2 miss (counted
+ *    like an L3 hit, per the paper's penalty assumption), and is
+ *    simultaneously written back to L3 with its modified bit reset;
+ *  - a non-modified remote copy cannot be forwarded; the line is
+ *    re-fetched from L3;
+ *  - an evicted line is written back to L3 only if modified.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/l1_filter.hpp"
+#include "cache/prefetcher.hpp"
+#include "core/migration_controller.hpp"
+#include "mem/trace.hpp"
+
+namespace xmig {
+
+/** Machine configuration (defaults = the section 4.2 setup). */
+struct MachineConfig
+{
+    /**
+     * 1 disables migration (baseline single core); any power of two
+     * up to 64 enables it (2 and 4 use the paper's exact splitter
+     * structures, larger counts the generalized recursive one).
+     */
+    unsigned numCores = 4;
+
+    uint64_t lineBytes = 64;
+
+    uint64_t il1Bytes = 16 * 1024;
+    uint64_t dl1Bytes = 16 * 1024;
+    unsigned l1Ways = 4;
+
+    uint64_t l2Bytes = 512 * 1024;
+    unsigned l2Ways = 4;
+    bool l2Skewed = true;
+
+    /**
+     * Shared L3 capacity; 0 models a perfect (always-hitting) L3,
+     * which is all the paper's experiments need — Table 2 counts L2
+     * misses and never sizes the L3. A finite value adds the L3
+     * hit/miss and memory-traffic accounting.
+     */
+    uint64_t l3Bytes = 0;
+    unsigned l3Ways = 16;
+
+    MigrationControllerConfig controller = defaultController();
+
+    /**
+     * Optional L2 prefetcher (section 6 extension): observes the
+     * post-L1 stream and fills candidates into the active core's L2.
+     */
+    PrefetcherConfig prefetch;
+
+    /** Section 4.2 controller settings. */
+    static MigrationControllerConfig
+    defaultController()
+    {
+        MigrationControllerConfig c;
+        c.numCores = 4;
+        c.affinityBits = 16;
+        c.windowX = 128;
+        c.windowY = 64;
+        c.filterBits = 18;
+        c.samplingCutoff = 8; // 25 % working-set sampling
+        c.l2Filtering = true;
+        c.boundedStore = true;
+        c.affinityCache.entries = 8 * 1024;
+        c.affinityCache.ways = 4;
+        c.affinityCache.skewed = true;
+        return c;
+    }
+};
+
+/** Event counts for one machine run. */
+struct MachineStats
+{
+    uint64_t instructions = 0;
+    uint64_t refs = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l2ToL2Forwards = 0; ///< subset of l2Misses served remotely
+    uint64_t l3Writebacks = 0;
+    uint64_t migrations = 0;
+    uint64_t updateBusStores = 0; ///< stores broadcast to inactive L2s
+    uint64_t prefetchFills = 0;   ///< prefetched lines installed in L2
+    uint64_t prefetchUseful = 0;  ///< ...later consumed by a demand hit
+    uint64_t l3Accesses = 0;      ///< finite-L3 mode only
+    uint64_t l3Misses = 0;        ///< L3 misses (off-chip fetches)
+    uint64_t memoryWritebacks = 0; ///< dirty L3 evictions
+};
+
+/**
+ * Trace-driven migration-mode machine.
+ *
+ * Feed it MemRefs; it filters them through the (mirrored) L1 level,
+ * consults the migration controller on every L1 miss, migrates the
+ * active core when told to, and maintains the per-core L2s under the
+ * migration-mode coherence rules. L3 is modeled as a backing store
+ * that always hits (the paper counts L2 misses and never sizes L3).
+ */
+class MigrationMachine : public RefSink, private LineSink
+{
+  public:
+    explicit MigrationMachine(const MachineConfig &config);
+
+    void access(const MemRef &ref) override;
+
+    const MachineStats &stats() const { return stats_; }
+    unsigned activeCore() const { return activeCore_; }
+
+    /**
+     * Zero the event counters (machine state — cache contents,
+     * controller training — is preserved). Use to exclude warm-up
+     * from measurements, approximating the paper's 1-billion-
+     * instruction runs where warm-up is negligible.
+     */
+    void resetStats();
+    const MachineConfig &config() const { return config_; }
+
+    const Cache &l2(unsigned core) const { return *l2s_[core]; }
+    const L1Filter &l1() const { return *l1_; }
+
+    /** Shared L3 (nullptr in perfect-L3 mode). */
+    const Cache *l3() const { return l3_.get(); }
+
+    /** Controller access (null when numCores == 1). */
+    const MigrationController *controller() const
+    {
+        return controller_.get();
+    }
+
+    /**
+     * Audit the coherence invariant: returns the number of lines with
+     * more than one modified copy across L2s (must be 0).
+     */
+    uint64_t countMultiModifiedLines() const;
+
+  private:
+    void onLine(const LineEvent &event) override;
+
+    /** Handle the L2-level request on the (post-decision) active core. */
+    void accessL2(uint64_t line, bool is_store);
+
+    /** Store visibility on inactive copies (update bus, section 2.1). */
+    void broadcastStore(uint64_t line);
+
+    /** Run the prefetcher and fill candidates into the active L2. */
+    void issuePrefetches(uint64_t line, bool miss);
+
+    /** Fetch a line from the (finite) L3; counts memory traffic. */
+    void fetchFromL3(uint64_t line);
+
+    /** Write a dirty line back into the (finite) L3. */
+    void writebackToL3(uint64_t line);
+
+    MachineConfig config_;
+    std::unique_ptr<L1Filter> l1_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<MigrationController> controller_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<uint64_t> prefetchCandidates_; ///< scratch buffer
+    unsigned activeCore_ = 0;
+    MachineStats stats_;
+};
+
+} // namespace xmig

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal command-line handling shared by the bench binaries.
+ *
+ * Every harness accepts:
+ *   --instr N      instruction budget per benchmark (default 2e7)
+ *   --scale X      multiply the default budget by X
+ *   --bench NAME   restrict to one benchmark (repeatable)
+ *   --seed S       workload seed
+ *   --warmup N     unmeasured warm-up instructions (where supported)
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace xmig {
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    uint64_t instructions = 20'000'000;
+    uint64_t warmup = 0;
+    uint64_t seed = 42;
+    std::vector<std::string> benchmarks; ///< empty = all
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions opt;
+        double scale = 1.0;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> const char * {
+                return i + 1 < argc ? argv[++i] : "";
+            };
+            if (arg == "--instr")
+                opt.instructions = std::strtoull(next(), nullptr, 10);
+            else if (arg == "--warmup")
+                opt.warmup = std::strtoull(next(), nullptr, 10);
+            else if (arg == "--scale")
+                scale = std::strtod(next(), nullptr);
+            else if (arg == "--seed")
+                opt.seed = std::strtoull(next(), nullptr, 10);
+            else if (arg == "--bench")
+                opt.benchmarks.emplace_back(next());
+        }
+        opt.instructions = static_cast<uint64_t>(
+            static_cast<double>(opt.instructions) * scale);
+        return opt;
+    }
+};
+
+} // namespace xmig

@@ -1,0 +1,86 @@
+#include "sim/quadcore.hpp"
+
+#include "workloads/registry.hpp"
+
+namespace xmig {
+
+namespace {
+
+/**
+ * Feeds both machines and zeroes their counters once the warm-up
+ * instruction budget has retired.
+ */
+class WarmupTee : public RefSink
+{
+  public:
+    WarmupTee(MigrationMachine &baseline, MigrationMachine &migration,
+              uint64_t warmup_instructions)
+        : baseline_(baseline),
+          migration_(migration),
+          warmup_(warmup_instructions),
+          done_(warmup_instructions == 0)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        baseline_.access(ref);
+        migration_.access(ref);
+        if (!done_ && ref.isIfetch() && ++instructions_ >= warmup_) {
+            baseline_.resetStats();
+            migration_.resetStats();
+            done_ = true;
+        }
+    }
+
+  private:
+    MigrationMachine &baseline_;
+    MigrationMachine &migration_;
+    uint64_t warmup_;
+    uint64_t instructions_ = 0;
+    bool done_;
+};
+
+} // namespace
+
+QuadcoreRow
+runQuadcore(const std::string &benchmark, const QuadcoreParams &params)
+{
+    auto workload = makeWorkload(benchmark);
+
+    MachineConfig base_cfg = params.machine;
+    base_cfg.numCores = 1;
+    MigrationMachine baseline(base_cfg);
+
+    MachineConfig mig_cfg = params.machine;
+    MigrationMachine migration(mig_cfg);
+
+    WarmupTee tee(baseline, migration, params.warmupInstructions);
+    workload->run(tee,
+                  params.warmupInstructions +
+                      params.instructionsPerBenchmark,
+                  params.seed);
+
+    QuadcoreRow row;
+    row.name = workload->info().name;
+    row.suite = workload->info().suite;
+    row.instructions = migration.stats().instructions;
+    row.l1Misses = migration.stats().l1Misses;
+    row.l2MissesBaseline = baseline.stats().l2Misses;
+    row.l2Misses4x = migration.stats().l2Misses;
+    row.migrations = migration.stats().migrations;
+    row.l2ToL2Forwards = migration.stats().l2ToL2Forwards;
+    return row;
+}
+
+std::vector<QuadcoreRow>
+runQuadcoreAll(const QuadcoreParams &params)
+{
+    std::vector<QuadcoreRow> rows;
+    for (const auto &name : allWorkloadNames())
+        rows.push_back(runQuadcore(name, params));
+    return rows;
+}
+
+} // namespace xmig

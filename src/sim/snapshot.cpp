@@ -1,0 +1,50 @@
+#include "sim/snapshot.hpp"
+
+#include "core/oe_store.hpp"
+#include "util/saturating.hpp"
+
+namespace xmig {
+
+SnapshotResult
+runAffinitySnapshot(ElementStream &stream, const SnapshotParams &params)
+{
+    UnboundedOeStore store(params.engine.affinityBits);
+    AffinityEngine engine(params.engine, store);
+
+    SnapshotResult result;
+    uint64_t transitions = 0;
+    int prev_sign = 0;
+    bool first = true;
+    for (uint64_t t = 0; t < params.references; ++t) {
+        const uint64_t e = stream.next();
+        const RefOutcome out = engine.reference(e);
+        const int sign = affinitySign(out.ae);
+        if (!first && sign != prev_sign)
+            ++transitions;
+        prev_sign = sign;
+        first = false;
+    }
+    result.transitionFrequency = params.references == 0
+        ? 0.0
+        : static_cast<double>(transitions) /
+          static_cast<double>(params.references);
+
+    result.affinity.resize(params.numElements, 0);
+    int last_sign = 0;
+    for (uint64_t e = 0; e < params.numElements; ++e) {
+        const auto a = engine.affinityOf(e);
+        const int64_t value = a.value_or(0);
+        result.affinity[e] = value;
+        const int sign = affinitySign(value);
+        if (sign >= 0)
+            ++result.positive;
+        else
+            ++result.negative;
+        if (e == 0 || sign != last_sign)
+            ++result.signSegments;
+        last_sign = sign;
+    }
+    return result;
+}
+
+} // namespace xmig

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 3 experiment: affinity snapshots on synthetic streams.
+ *
+ * Runs one 2-way affinity engine over an element stream and captures
+ * the per-element affinity A_e after a given number of references,
+ * plus split-quality metrics (balance, contiguity, transition
+ * frequency) that summarize what the paper's scatter plots show.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace xmig {
+
+/** Result of one snapshot run. */
+struct SnapshotResult
+{
+    /** A_e for each element id in [0, N). */
+    std::vector<int64_t> affinity;
+
+    /** Elements with A_e >= 0 / < 0. */
+    uint64_t positive = 0;
+    uint64_t negative = 0;
+
+    /**
+     * Number of maximal same-sign segments over element-id space;
+     * 2 means a perfectly contiguous bisection of Circular.
+     */
+    uint64_t signSegments = 0;
+
+    /**
+     * Fraction of consecutive reference pairs whose affinities have
+     * opposite signs — the "trans:" number printed on each Figure 3
+     * graph.
+     */
+    double transitionFrequency = 0.0;
+};
+
+/** Parameters of a snapshot run. */
+struct SnapshotParams
+{
+    uint64_t numElements = 4000;  ///< N
+    uint64_t references = 100'000;
+    EngineConfig engine = defaultEngine();
+
+    static EngineConfig
+    defaultEngine()
+    {
+        EngineConfig e;
+        e.windowSize = 100; ///< |R| = 100 in Figure 3
+        return e;
+    }
+};
+
+/** Run the Figure 3 experiment over `stream`. */
+SnapshotResult runAffinitySnapshot(ElementStream &stream,
+                                   const SnapshotParams &params);
+
+} // namespace xmig

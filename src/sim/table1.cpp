@@ -1,0 +1,47 @@
+#include "sim/table1.hpp"
+
+#include "cache/l1_filter.hpp"
+#include "workloads/registry.hpp"
+
+namespace xmig {
+
+Table1Row
+runTable1(const std::string &benchmark, const Table1Params &params)
+{
+    auto workload = makeWorkload(benchmark);
+
+    L1FilterConfig l1c;
+    l1c.il1Bytes = params.l1Bytes;
+    l1c.dl1Bytes = params.l1Bytes;
+    l1c.lineBytes = params.lineBytes;
+    l1c.fullyAssociative = true;
+    l1c.unifiedReadWrite = true;
+
+    NullLineSink null_sink;
+    L1Filter filter(l1c, null_sink);
+    RefCounter counter;
+    TeeSink tee(counter, filter);
+
+    workload->run(tee, params.instructionsPerBenchmark, params.seed);
+
+    Table1Row row;
+    row.name = workload->info().name;
+    row.suite = workload->info().suite;
+    row.instructions = counter.instructions();
+    row.loads = counter.loads();
+    row.stores = counter.stores();
+    row.il1Misses = filter.il1Stats().misses;
+    row.dl1Misses = filter.dl1Stats().misses;
+    return row;
+}
+
+std::vector<Table1Row>
+runTable1All(const Table1Params &params)
+{
+    std::vector<Table1Row> rows;
+    for (const auto &name : allWorkloadNames())
+        rows.push_back(runTable1(name, params));
+    return rows;
+}
+
+} // namespace xmig

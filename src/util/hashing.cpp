@@ -1,0 +1,47 @@
+#include "util/hashing.hpp"
+
+namespace xmig {
+
+uint32_t
+hashMod31(uint64_t e)
+{
+    // Sum the 5-bit blocks; repeat until the sum itself fits 5 bits.
+    // This mirrors the carry-save-adder + ROM structure of section 3.5.
+    uint64_t sum = e;
+    while (sum >= 32) {
+        uint64_t next = 0;
+        while (sum != 0) {
+            next += sum & 0x1f;
+            sum >>= 5;
+        }
+        sum = next;
+    }
+    // 31 = 0 (mod 31); every other residue is already reduced.
+    return sum == 31 ? 0 : static_cast<uint32_t>(sum);
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+skewHash(uint64_t line_addr, unsigned bank, uint64_t num_sets)
+{
+    // Bank 0 indexes conventionally; each other bank applies an
+    // independent full-avalanche permutation of the line address, so
+    // two lines conflicting in one bank are (near-)independently
+    // placed in every other bank — the defining skewed-associativity
+    // property. Sequential line streams disperse uniformly in every
+    // bank.
+    const uint64_t mask = num_sets - 1;
+    if (bank == 0)
+        return line_addr & mask;
+    return mix64(line_addr + 0xd6e8feb86659fd93ULL * bank) & mask;
+}
+
+} // namespace xmig

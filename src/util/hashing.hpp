@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hash functions used by the migration controller and skewed caches.
+ *
+ * Two families live here:
+ *  - the working-set sampling hash H(e) = e mod 31 of section 3.5,
+ *    computed the way the paper suggests hardware would (summing 5-bit
+ *    blocks of the address, since 2^5 = 1 mod 31);
+ *  - the inter-bank skewing functions of a skewed-associative cache
+ *    (Bodin & Seznec), built from XOR-folding and bit rotation.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace xmig {
+
+/**
+ * Working-set sampling hash H(e) = e mod 31 (section 3.5).
+ *
+ * Implemented as hardware would: split e into 5-bit blocks e_i with
+ * e = sum_i 2^(5i) e_i; since 2^5 = 32 = 1 (mod 31), H(e) =
+ * sum_i e_i mod 31 — a carry-save adder tree plus a small ROM. The
+ * software version iterates the block sum until it fits 5 bits, then
+ * folds the single remaining value 31 to 0.
+ */
+uint32_t hashMod31(uint64_t e);
+
+/**
+ * Sampling predicate of section 3.5: keep line e iff H(e) < cutoff.
+ *
+ * cutoff = 8 gives the paper's 25% sampling (8 of 31 residues, 25.8%).
+ * cutoff >= 31 disables sampling (every line tracked).
+ */
+inline bool
+sampledLine(uint64_t e, uint32_t cutoff)
+{
+    return hashMod31(e) < cutoff;
+}
+
+/**
+ * Skewing function for bank `bank` of a skewed-associative cache.
+ *
+ * Maps a line address to a set index in [0, numSets). Different banks
+ * use different mixes so that two lines conflicting in one bank are
+ * unlikely to conflict in another — the defining property of skewed
+ * associativity. numSets must be a power of two.
+ */
+uint64_t skewHash(uint64_t line_addr, unsigned bank, uint64_t num_sets);
+
+/** SplitMix64 finalizer; a good 64-bit bit mixer. */
+uint64_t mix64(uint64_t x);
+
+} // namespace xmig

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs, aborts), fatal() is for user errors such
+ * as bad configuration (clean exit), warn()/inform() are advisory.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace xmig {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a bug in this library). */
+#define XMIG_PANIC(...) \
+    ::xmig::detail::panicImpl(__FILE__, __LINE__, \
+                              ::xmig::detail::formatString(__VA_ARGS__))
+
+/** Exit cleanly on a user error (bad configuration, invalid argument). */
+#define XMIG_FATAL(...) \
+    ::xmig::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::xmig::detail::formatString(__VA_ARGS__))
+
+/** Advise the user that something is off but simulation continues. */
+#define XMIG_WARN(...) \
+    ::xmig::detail::warnImpl(::xmig::detail::formatString(__VA_ARGS__))
+
+/** Neutral status message. */
+#define XMIG_INFORM(...) \
+    ::xmig::detail::informImpl(::xmig::detail::formatString(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define XMIG_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            XMIG_PANIC("assertion failed: %s -- %s", #cond, \
+                       ::xmig::detail::formatString(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+} // namespace xmig

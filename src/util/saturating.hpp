@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime-width signed saturating integers.
+ *
+ * The affinity algorithm (Michaud, HPCA 2004, section 3.2) works with
+ * saturating addition on values coded with a limited number of bits:
+ * 16-bit affinities O_e / I_e, bits[A_R] = bits[O_e] + log2(|R|),
+ * bits[Delta] = bits[O_e] + 1, and 18/20-bit transition filters. The
+ * width is a run-time experiment parameter, so SatInt carries its bit
+ * count as state rather than as a template argument.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+/**
+ * Signed integer with saturating arithmetic at a runtime-chosen width.
+ *
+ * A SatInt of width b holds values in [-2^(b-1), 2^(b-1) - 1]. Adding
+ * past either bound clamps to the bound. Widths from 2 to 62 bits are
+ * supported, which covers every configuration in the paper.
+ */
+class SatInt
+{
+  public:
+    /** Construct a counter of the given bit width, initialized to 0. */
+    explicit SatInt(unsigned bits)
+        : value_(0),
+          min_(minForBits(bits)),
+          max_(maxForBits(bits))
+    {
+    }
+
+    /** Construct with an explicit initial value (clamped). */
+    SatInt(unsigned bits, int64_t initial)
+        : SatInt(bits)
+    {
+        value_ = clamp(initial);
+    }
+
+    /** Smallest representable value for a b-bit signed integer. */
+    static int64_t
+    minForBits(unsigned bits)
+    {
+        XMIG_ASSERT(bits >= 2 && bits <= 62, "SatInt width %u", bits);
+        return -(int64_t(1) << (bits - 1));
+    }
+
+    /** Largest representable value for a b-bit signed integer. */
+    static int64_t
+    maxForBits(unsigned bits)
+    {
+        XMIG_ASSERT(bits >= 2 && bits <= 62, "SatInt width %u", bits);
+        return (int64_t(1) << (bits - 1)) - 1;
+    }
+
+    int64_t get() const { return value_; }
+    int64_t min() const { return min_; }
+    int64_t max() const { return max_; }
+
+    /** True if the counter sits at either saturation bound. */
+    bool saturated() const { return value_ == min_ || value_ == max_; }
+
+    /** Replace the value, clamping into range. */
+    void set(int64_t v) { value_ = clamp(v); }
+
+    /** Saturating add. */
+    void
+    add(int64_t delta)
+    {
+        // Widths are <= 62 bits and |delta| in practice fits 62 bits as
+        // well, so plain 64-bit addition cannot wrap before clamping.
+        value_ = clamp(value_ + delta);
+    }
+
+    SatInt &
+    operator+=(int64_t delta)
+    {
+        add(delta);
+        return *this;
+    }
+
+    SatInt &
+    operator-=(int64_t delta)
+    {
+        add(-delta);
+        return *this;
+    }
+
+  private:
+    int64_t
+    clamp(int64_t v) const
+    {
+        if (v < min_)
+            return min_;
+        if (v > max_)
+            return max_;
+        return v;
+    }
+
+    int64_t value_;
+    int64_t min_;
+    int64_t max_;
+};
+
+/**
+ * The sign function of the paper: sign(x) = +1 if x >= 0, else -1.
+ *
+ * Note the asymmetry: sign(0) = +1, exactly as in section 3.2.
+ */
+inline int
+affinitySign(int64_t x)
+{
+    return x >= 0 ? 1 : -1;
+}
+
+/** Clamp a plain value into the range of a b-bit signed integer. */
+inline int64_t
+saturateToBits(int64_t v, unsigned bits)
+{
+    const int64_t lo = SatInt::minForBits(bits);
+    const int64_t hi = SatInt::maxForBits(bits);
+    if (v < lo)
+        return lo;
+    if (v > hi)
+        return hi;
+    return v;
+}
+
+} // namespace xmig

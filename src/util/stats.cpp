@@ -1,0 +1,177 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace xmig {
+
+std::string
+perEvent(uint64_t instructions, uint64_t events)
+{
+    if (events == 0)
+        return "inf";
+    const double per = static_cast<double>(instructions) /
+                       static_cast<double>(events);
+    char buf[32];
+    if (per < 100000.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f", per);
+    } else {
+        const int exp = static_cast<int>(std::floor(std::log10(per)));
+        const double mant = per / std::pow(10.0, exp);
+        std::snprintf(buf, sizeof(buf), "%.1fe%d", mant, exp);
+    }
+    return buf;
+}
+
+std::string
+frequency(uint64_t events, uint64_t total)
+{
+    char buf[32];
+    const double f = total == 0
+        ? 0.0
+        : static_cast<double>(events) / static_cast<double>(total);
+    std::snprintf(buf, sizeof(buf), "%.4f", f);
+    return buf;
+}
+
+std::string
+sizeLabel(uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (uint64_t(1) << 30) && bytes % (uint64_t(1) << 30) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluG",
+                      (unsigned long long)(bytes >> 30));
+    else if (bytes >= (uint64_t(1) << 20) && bytes % (uint64_t(1) << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM",
+                      (unsigned long long)(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluk",
+                      (unsigned long long)(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      (unsigned long long)bytes);
+    return buf;
+}
+
+std::string
+ratio2(double r)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", r);
+    return buf;
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    XMIG_ASSERT(row.size() == header_.size(),
+                "row has %zu cells, header has %zu",
+                row.size(), header_.size());
+    rows_.push_back({false, std::move(row)});
+}
+
+void
+AsciiTable::addSection(std::string label)
+{
+    rows_.push_back({true, {std::move(label)}});
+}
+
+std::string
+AsciiTable::render(const std::string &title) const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.section)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            width[c] = std::max(width[c], row.cells[c].size());
+    }
+
+    auto emit_row = [&](std::string &out,
+                        const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            // Left-align the first column (names), right-align numbers.
+            const std::string &cell = cells[c];
+            if (c == 0) {
+                out += cell;
+                out.append(width[c] - cell.size(), ' ');
+            } else {
+                out.append(width[c] - cell.size(), ' ');
+                out += cell;
+            }
+            out += (c + 1 == cells.size()) ? "\n" : "  ";
+        }
+    };
+
+    std::string out;
+    if (!title.empty()) {
+        out += title;
+        out += "\n";
+    }
+    emit_row(out, header_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 == width.size() ? 0 : 2);
+    out.append(total, '-');
+    out += "\n";
+    for (const auto &row : rows_) {
+        if (row.section) {
+            out += "-- " + row.cells[0] + "\n";
+        } else {
+            emit_row(out, row.cells);
+        }
+    }
+    return out;
+}
+
+SeriesWriter::SeriesWriter(std::string x_name,
+                           std::vector<std::string> series_names)
+    : xName_(std::move(x_name)),
+      seriesNames_(std::move(series_names))
+{
+}
+
+void
+SeriesWriter::addPoint(const std::string &x, const std::vector<double> &ys)
+{
+    XMIG_ASSERT(ys.size() == seriesNames_.size(),
+                "point has %zu series, expected %zu",
+                ys.size(), seriesNames_.size());
+    points_.emplace_back(x, ys);
+}
+
+std::string
+SeriesWriter::render(const std::string &title) const
+{
+    std::string out;
+    if (!title.empty()) {
+        out += "# " + title + "\n";
+    }
+    out += xName_;
+    for (const auto &name : seriesNames_)
+        out += "," + name;
+    out += "\n";
+    char buf[32];
+    for (const auto &[x, ys] : points_) {
+        out += x;
+        for (double y : ys) {
+            std::snprintf(buf, sizeof(buf), "%.6g", y);
+            out += ",";
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace xmig

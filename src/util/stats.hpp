@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Event counters and report formatting.
+ *
+ * The paper reports most results as "instructions per event" (Table 2)
+ * or as miss-ratio curves (Figures 4-5). This module provides the
+ * counters and the ASCII table / CSV series formatters the bench
+ * harnesses use to print paper-shaped output.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmig {
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(uint64_t n = 1) { count_ += n; }
+    uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/**
+ * Format "instructions per event" the way Table 2 does: an integer
+ * when small, otherwise an abbreviated power-of-ten form (e.g. 2.2e6).
+ * Returns "inf" when the event never occurred.
+ */
+std::string perEvent(uint64_t instructions, uint64_t events);
+
+/** Format an event frequency such as 0.0134 with 4 decimals. */
+std::string frequency(uint64_t events, uint64_t total);
+
+/** Format a byte count with the paper's axis labels: 16k, 64k, 1M, ... */
+std::string sizeLabel(uint64_t bytes);
+
+/** Format a ratio like Table 2's L2-miss reduction column (2 decimals). */
+std::string ratio2(double r);
+
+/**
+ * Column-aligned ASCII table writer.
+ *
+ * Collects rows of strings and prints them with per-column widths, a
+ * header rule, and an optional title; the bench binaries use it to
+ * reproduce the paper's tables row for row.
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a full-width section label row (e.g. "SPEC2000"). */
+    void addSection(std::string label);
+
+    /** Render the table to a string. */
+    std::string render(const std::string &title = "") const;
+
+  private:
+    struct Row
+    {
+        bool section;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * (x, y...) series writer for figure reproduction.
+ *
+ * Prints one line per x value with all series values, plus a header
+ * naming each series — effectively CSV that is also readable inline.
+ */
+class SeriesWriter
+{
+  public:
+    SeriesWriter(std::string x_name, std::vector<std::string> series_names);
+
+    void addPoint(const std::string &x, const std::vector<double> &ys);
+
+    std::string render(const std::string &title = "") const;
+
+  private:
+    std::string xName_;
+    std::vector<std::string> seriesNames_;
+    std::vector<std::pair<std::string, std::vector<double>>> points_;
+};
+
+} // namespace xmig

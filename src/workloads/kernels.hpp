@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Factory functions for the 18 benchmark kernels (13 SPEC-like,
+ * 5 Olden-like). See DESIGN.md for the substitution rationale and
+ * the qualitative behavior each kernel is tuned to reproduce.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace xmig {
+
+// SPEC CPU2000-like kernels.
+std::unique_ptr<Workload> makeGzip();
+std::unique_ptr<Workload> makeSwim();
+std::unique_ptr<Workload> makeMgrid();
+std::unique_ptr<Workload> makeVpr();
+std::unique_ptr<Workload> makeGcc();
+std::unique_ptr<Workload> makeArt();
+std::unique_ptr<Workload> makeMcf();
+std::unique_ptr<Workload> makeCrafty();
+std::unique_ptr<Workload> makeAmmp();
+std::unique_ptr<Workload> makeParser();
+std::unique_ptr<Workload> makeVortex();
+std::unique_ptr<Workload> makeBzip2();
+std::unique_ptr<Workload> makeTwolf();
+
+// Olden-like kernels.
+std::unique_ptr<Workload> makeBh();
+std::unique_ptr<Workload> makeBisort();
+std::unique_ptr<Workload> makeEm3d();
+std::unique_ptr<Workload> makeHealth();
+std::unique_ptr<Workload> makeMst();
+
+} // namespace xmig

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Olden-like kernels: bh, bisort, em3d, health, mst (sequential
+ * versions, following Carlisle & Rogers' benchmark suite as used by
+ * the paper via Amir Roth's sequential port).
+ *
+ * These are linked-data-structure programs — the class the paper's
+ * conclusion singles out as the most promising for execution
+ * migration. bh/em3d/health revisit sub-MB..~1.3 MB structures every
+ * phase (splittable; Table 2 ratios 0.14-0.17 for em3d/health).
+ * bisort chases an unpredictable ~1 MB tree (no benefit), and mst
+ * streams over a ~9 MB hash-table forest (footprint beyond 4xL2;
+ * migrations must stay suppressed via the finite affinity cache).
+ */
+
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/hashing.hpp"
+
+namespace xmig {
+
+namespace {
+
+/**
+ * bh-like: Barnes-Hut N-body. Each timestep rebuilds an octree over
+ * the bodies, then computes forces by walking the tree per body with
+ * heavy reuse of the upper levels. Footprint ~0.25 MB.
+ */
+class BhKernel : public Workload
+{
+  public:
+    BhKernel()
+    {
+        Arena arena;
+        bodies_ = ArenaArray::make(arena, kBodies, 96);
+        tree_ = ArenaArray::make(arena, kTreeNodes, 64);
+        info_ = {"bh", "Olden",
+                 "Barnes-Hut octree builds + force walks in ~0.25 MB"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 16 * 1024;
+        c.loopProb = 0.65;
+        c.seed = 1001;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Tree build: insert each body, descending from the root
+            // along the path its (slowly changing) position selects —
+            // effectively the same path every timestep.
+            uint64_t next_node = kBodies / 4; // upper levels pre-exist
+            for (uint64_t b = 0; b < kBodies && !ctx.done(); ++b) {
+                ctx.load(bodies_.at(b)); // position
+                uint64_t node = 0;
+                for (unsigned depth = 0; depth < 8; ++depth) {
+                    ctx.loadPtr(tree_.at(node));
+                    ctx.op(2); // octant selection
+                    node = (node * 4 + 1 + ((b >> depth) & 3)) %
+                           kTreeNodes;
+                }
+                ctx.store(tree_.at(next_node % kTreeNodes));
+                next_node++;
+            }
+            // Force computation: per body, a deterministic multipole
+            // walk — mostly the (shared) upper levels plus the cells
+            // the body's position admits. Bodies move slowly, so the
+            // traversal repeats almost exactly each timestep: the
+            // reference stream is circular over the ~0.25 MB
+            // structure, which is why bh shows a split gap in
+            // Figure 4 of the paper.
+            for (uint64_t b = 0; b < kBodies && !ctx.done(); ++b) {
+                ctx.load(bodies_.at(b));
+                for (unsigned v = 0; v < 40; ++v) {
+                    const uint64_t h = mix64(b * 64 + v);
+                    // Deep cells cluster around the body's own region
+                    // of space (bodies are visited in spatial order),
+                    // so nearby bodies share cells and distant ones
+                    // do not — the structure splitting exploits.
+                    const uint64_t region =
+                        b * kTreeNodes / kBodies;
+                    const uint64_t node = (v * 5 + b) % 10 < 7
+                        ? h % 64                          // top levels
+                        : (region + h % 160) % kTreeNodes; // local cells
+                    ctx.load(tree_.at(node));
+                    ctx.op(4); // multipole acceptance + force terms
+                }
+                ctx.store(bodies_.at(b, 48)); // acceleration
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kBodies = 1200;    // 96 B each
+    static constexpr uint64_t kTreeNodes = 2400; // 64 B each
+    ArenaArray bodies_;
+    ArenaArray tree_;
+    WorkloadInfo info_;
+};
+
+/**
+ * bisort-like: bitonic sort over a ~1 MB binary tree in heap layout.
+ * The merge phases compare and swap values across subtrees in an
+ * order that defeats both caching and splitting (the paper lists
+ * bisort among the non-splittable programs).
+ */
+class BisortKernel : public Workload
+{
+  public:
+    BisortKernel()
+    {
+        Arena arena;
+        tree_ = ArenaArray::make(arena, kNodes, 16);
+        info_ = {"bisort", "Olden",
+                 "bitonic sort over a ~1 MB pointer tree"};
+        // Explicit child pointers: SwapTree physically exchanges
+        // subtrees, so traversal order drifts away from layout order
+        // over time — the reason bisort resists splitting.
+        left_.resize(kNodes, 0);
+        right_.resize(kNodes, 0);
+        for (uint64_t i = 0; i < kNodes / 2 - 1; ++i) {
+            left_[i] = static_cast<uint32_t>(2 * i + 1);
+            right_[i] = static_cast<uint32_t>(2 * i + 2);
+        }
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 8 * 1024;
+        c.loopProb = 0.7;
+        c.seed = 1002;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done())
+            bimerge(ctx, 0, 0, phase_++ % 2 == 0);
+    }
+
+  private:
+    /** Recursive bitonic merge following the (drifting) pointers. */
+    void
+    bimerge(EmitCtx &ctx, uint32_t root, unsigned depth, bool up)
+    {
+        if (ctx.done() || depth >= kDepth - 1)
+            return;
+        const uint32_t l = left_[root];
+        const uint32_t r = right_[root];
+        if (l == 0 || r == 0)
+            return;
+        ctx.loadPtr(tree_.at(l));
+        ctx.loadPtr(tree_.at(r));
+        ctx.op(2);
+        if (ctx.rng().chance(0.5)) {
+            // Out of order: SwapTree — exchange the subtrees.
+            std::swap(left_[root], right_[root]);
+            ctx.store(tree_.at(root, 8));
+        }
+        // Value-dependent pruning: a subtree that is already in
+        // bitonic order is not descended into, so successive passes
+        // visit different, data-dependent subsets of the tree — the
+        // weak, irregular reuse that makes bisort resist splitting.
+        if (!ctx.rng().chance(0.35))
+            bimerge(ctx, left_[root], depth + 1, up);
+        if (!ctx.rng().chance(0.35))
+            bimerge(ctx, right_[root], depth + 1, !up);
+        ctx.load(tree_.at(root));
+        ctx.store(tree_.at(root, 8));
+    }
+
+    static constexpr unsigned kDepth = 16;
+    static constexpr uint64_t kNodes = (1u << kDepth) + 2; // ~1 MB
+    ArenaArray tree_;
+    std::vector<uint32_t> left_;
+    std::vector<uint32_t> right_;
+    uint64_t phase_ = 0;
+    WorkloadInfo info_;
+};
+
+/**
+ * em3d-like: electromagnetic wave propagation on a bipartite graph.
+ * Each iteration sweeps the E nodes in order, reading each node's
+ * (fixed, spatially clustered) H neighbors, then sweeps H reading E.
+ * The ~1.3 MB graph is re-traversed every iteration in the same
+ * order — splittable (Table 2 ratio 0.14).
+ */
+class Em3dKernel : public Workload
+{
+  public:
+    Em3dKernel()
+    {
+        Arena arena;
+        eNodes_ = ArenaArray::make(arena, kNodes, 32);
+        hNodes_ = ArenaArray::make(arena, kNodes, 32);
+        eCoeffs_ = ArenaArray::make(arena, kNodes * kDegree, 8);
+        hCoeffs_ = ArenaArray::make(arena, kNodes * kDegree, 8);
+        info_ = {"em3d", "Olden",
+                 "bipartite E/H sweeps over a ~1.3 MB graph"};
+        Rng rng(1003);
+        eNbr_.resize(kNodes * kDegree);
+        hNbr_.resize(kNodes * kDegree);
+        for (uint64_t i = 0; i < kNodes; ++i) {
+            for (unsigned d = 0; d < kDegree; ++d) {
+                // Neighbors are clustered around the same index.
+                eNbr_[i * kDegree + d] = clusterPick(rng, i);
+                hNbr_[i * kDegree + d] = clusterPick(rng, i);
+            }
+        }
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 6 * 1024;
+        c.loopProb = 0.8;
+        c.seed = 1003;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            sweep(ctx, eNodes_, hNodes_, eCoeffs_, eNbr_);
+            sweep(ctx, hNodes_, eNodes_, hCoeffs_, hNbr_);
+        }
+    }
+
+  private:
+    static uint32_t
+    clusterPick(Rng &rng, uint64_t i)
+    {
+        const int64_t off = static_cast<int64_t>(rng.below(512)) - 256;
+        int64_t j = static_cast<int64_t>(i) + off;
+        j = std::clamp<int64_t>(j, 0, kNodes - 1);
+        return static_cast<uint32_t>(j);
+    }
+
+    void
+    sweep(EmitCtx &ctx, const ArenaArray &dst, const ArenaArray &src,
+          const ArenaArray &coeffs, const std::vector<uint32_t> &nbr)
+    {
+        for (uint64_t i = 0; i < kNodes && !ctx.done(); ++i) {
+            for (unsigned d = 0; d < kDegree; ++d) {
+                ctx.load(coeffs.at(i * kDegree + d));
+                ctx.loadPtr(src.at(nbr[i * kDegree + d]));
+                ctx.op(1); // multiply-accumulate
+            }
+            ctx.store(dst.at(i));
+        }
+    }
+
+    static constexpr uint64_t kNodes = 9'000;
+    static constexpr unsigned kDegree = 6;
+    ArenaArray eNodes_;
+    ArenaArray hNodes_;
+    ArenaArray eCoeffs_;
+    ArenaArray hCoeffs_;
+    std::vector<uint32_t> eNbr_;
+    std::vector<uint32_t> hNbr_;
+    WorkloadInfo info_;
+};
+
+/**
+ * health-like: hierarchical health-care simulation. A fixed village
+ * hierarchy is walked depth-first each step; every village processes
+ * its linked patient list, transferring some patients upward. The
+ * patient pool (~1 MB once warm) is revisited every step.
+ */
+class HealthKernel : public Workload
+{
+  public:
+    HealthKernel()
+    {
+        Arena arena;
+        villages_ = ArenaArray::make(arena, kVillages, 64);
+        patients_ = ArenaArray::make(arena, kPatients, 40);
+        info_ = {"health", "Olden",
+                 "hierarchical patient lists, ~1 MB revisited per step"};
+        lists_.assign(kVillages, {});
+        Rng rng(1004);
+        // Seed each leaf village with some patients.
+        uint32_t p = 0;
+        for (uint64_t v = kVillages / 4; v < kVillages; ++v) {
+            const unsigned n = 20 + static_cast<unsigned>(rng.below(40));
+            for (unsigned i = 0; i < n && p < kPatients; ++i)
+                lists_[v].push_back(p++);
+        }
+        nextFree_ = p;
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 10 * 1024;
+        c.loopProb = 0.7;
+        c.seed = 1004;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // One simulation step: visit villages depth-first.
+            for (uint64_t v = 0; v < kVillages && !ctx.done(); ++v) {
+                ctx.load(villages_.at(v));
+                ctx.op(2);
+                auto &list = lists_[v];
+                // Walk this village's patient list.
+                for (size_t i = 0; i < list.size(); ++i) {
+                    ctx.loadPtr(patients_.at(list[i]));
+                    ctx.op(3); // treat
+                    ctx.store(patients_.at(list[i], 16));
+                }
+                // Refer ~5% of patients to the parent village.
+                if (v > 0 && !list.empty() && ctx.rng().chance(0.6)) {
+                    const uint64_t parent = (v - 1) / kBranch;
+                    lists_[parent].push_back(list.back());
+                    list.pop_back();
+                    ctx.store(villages_.at(parent, 32));
+                }
+                // Leaf villages admit new patients (pool reuse).
+                if (v >= kVillages / 4 && ctx.rng().chance(0.5)) {
+                    list.push_back(nextFree_ % kPatients);
+                    nextFree_++;
+                    ctx.store(patients_.at(list.back()));
+                }
+                // Bound list growth like the original's discharges.
+                if (list.size() > 120)
+                    list.resize(60);
+            }
+        }
+    }
+
+  private:
+    static constexpr unsigned kBranch = 4;
+    static constexpr uint64_t kVillages = 341; // 1+4+16+64+256
+    static constexpr uint64_t kPatients = 26'000; // 40 B each ~1 MB
+    ArenaArray villages_;
+    ArenaArray patients_;
+    std::vector<std::vector<uint32_t>> lists_;
+    uint32_t nextFree_ = 0;
+    WorkloadInfo info_;
+};
+
+/**
+ * mst-like: minimum spanning tree over a graph whose adjacency is
+ * stored in per-node hash tables (the defining Olden-mst structure).
+ * Each Prim iteration scans every remaining node's hash table — a
+ * ~9 MB streaming footprint far beyond the 2 MB total L2.
+ */
+class MstKernel : public Workload
+{
+  public:
+    MstKernel()
+    {
+        Arena arena;
+        nodes_ = ArenaArray::make(arena, kGraphNodes, 32);
+        tables_ = ArenaArray::make(arena,
+                                   kGraphNodes * kTableEntries, 8);
+        info_ = {"mst", "Olden",
+                 "Prim over per-node hash tables: ~9 MB streamed"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 6 * 1024;
+        c.loopProb = 0.75;
+        c.seed = 1005;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // One Prim pass: for each node, probe its hash table for
+            // the distance to the newest tree vertex and relax.
+            const uint64_t new_vertex = ctx.rng().below(kGraphNodes);
+            for (uint64_t n = 0; n < kGraphNodes && !ctx.done(); ++n) {
+                ctx.load(nodes_.at(n));
+                // Open-addressing probe: 1-2 slots in n's table.
+                uint64_t slot =
+                    (new_vertex * 2654435761u) % kTableEntries;
+                ctx.load(tables_.at(n * kTableEntries + slot));
+                if (ctx.rng().chance(0.3)) {
+                    slot = (slot + 1) % kTableEntries;
+                    ctx.load(tables_.at(n * kTableEntries + slot));
+                }
+                ctx.op(3); // compare / relax
+                if (ctx.rng().chance(0.1))
+                    ctx.store(nodes_.at(n, 16));
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kGraphNodes = 1536;
+    static constexpr uint64_t kTableEntries = 768; // 8 B: 6 KB/node
+    ArenaArray nodes_;
+    ArenaArray tables_;
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBh()
+{
+    return std::make_unique<BhKernel>();
+}
+
+std::unique_ptr<Workload>
+makeBisort()
+{
+    return std::make_unique<BisortKernel>();
+}
+
+std::unique_ptr<Workload>
+makeEm3d()
+{
+    return std::make_unique<Em3dKernel>();
+}
+
+std::unique_ptr<Workload>
+makeHealth()
+{
+    return std::make_unique<HealthKernel>();
+}
+
+std::unique_ptr<Workload>
+makeMst()
+{
+    return std::make_unique<MstKernel>();
+}
+
+} // namespace xmig

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Benchmark registry: name -> kernel factory, in Table 1 order.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace xmig {
+
+/** Names of all 18 benchmarks, in the paper's Table 1 order. */
+const std::vector<std::string> &allWorkloadNames();
+
+/** Names of the SPEC2000-like benchmarks only. */
+const std::vector<std::string> &specWorkloadNames();
+
+/** Names of the Olden-like benchmarks only. */
+const std::vector<std::string> &oldenWorkloadNames();
+
+/**
+ * Instantiate a kernel by name (e.g. "181.mcf" or "mcf"; suite
+ * prefixes are optional). Fatal error on unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace xmig

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * SPEC CPU2000 floating-point-like kernels: 171.swim, 172.mgrid,
+ * 179.art, 188.ammp.
+ *
+ * swim/mgrid stream over grids far larger than the total on-chip L2
+ * capacity (no splitting benefit; migrations must stay suppressed).
+ * art and ammp sweep working-sets between one L2 (512 KB) and the
+ * 4-core total (2 MB) — the sweet spot where the affinity algorithm
+ * trades migrations for L2 misses (Table 2 ratios 0.03 and 0.17).
+ */
+
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace xmig {
+
+namespace {
+
+/**
+ * 171.swim-like: shallow-water finite differences. Several large 2-D
+ * grids are swept sequentially each timestep; the combined footprint
+ * (~18 MB) exceeds any on-chip capacity, so every sweep streams.
+ */
+class SwimKernel : public Workload
+{
+  public:
+    SwimKernel()
+    {
+        Arena arena;
+        for (auto &grid : grids_)
+            grid = ArenaArray::make(arena, kRows * kCols, 8);
+        info_ = {"171.swim", "SPEC2000",
+                 "shallow-water stencils streaming over ~18 MB of grids"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 12 * 1024; // tight numeric loops
+        c.loopProb = 0.8;
+        c.seed = 171;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        // Timestep: three stencil passes, each reading two grids and
+        // writing a third, visiting rows sequentially.
+        while (!ctx.done()) {
+            for (int pass = 0; pass < 3 && !ctx.done(); ++pass) {
+                const ArenaArray &a = grids_[pass];
+                const ArenaArray &b = grids_[pass + 1];
+                const ArenaArray &out = grids_[pass + 3];
+                for (uint64_t r = 1; r + 1 < kRows && !ctx.done(); ++r) {
+                    for (uint64_t c = 1; c + 1 < kCols; ++c) {
+                        const uint64_t i = r * kCols + c;
+                        ctx.load(a.at(i));
+                        ctx.load(a.at(i - kCols));
+                        ctx.load(b.at(i + 1));
+                        ctx.op(3); // FP arithmetic
+                        ctx.store(out.at(i));
+                    }
+                }
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kRows = 640;
+    static constexpr uint64_t kCols = 600;
+    ArenaArray grids_[6];
+    WorkloadInfo info_;
+};
+
+/**
+ * 172.mgrid-like: multigrid V-cycles. Most time is spent relaxing the
+ * finest grid (~8 MB), with geometrically smaller coarse levels.
+ */
+class MgridKernel : public Workload
+{
+  public:
+    MgridKernel()
+    {
+        Arena arena;
+        uint64_t n = kFineElems;
+        for (auto &level : levels_) {
+            level = ArenaArray::make(arena, n, 8);
+            n = std::max<uint64_t>(n / 8, 512);
+        }
+        info_ = {"172.mgrid", "SPEC2000",
+                 "multigrid V-cycles over an ~9 MB grid hierarchy"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 16 * 1024;
+        c.loopProb = 0.8;
+        c.seed = 172;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Down-sweep: relax each level, restrict to the coarser.
+            for (int l = 0; l < kLevels && !ctx.done(); ++l)
+                relax(ctx, levels_[l]);
+            // Up-sweep: prolong and relax again.
+            for (int l = kLevels - 1; l >= 0 && !ctx.done(); --l)
+                relax(ctx, levels_[l]);
+        }
+    }
+
+  private:
+    void
+    relax(EmitCtx &ctx, const ArenaArray &grid)
+    {
+        for (uint64_t i = 1; i + 1 < grid.count && !ctx.done(); ++i) {
+            ctx.load(grid.at(i - 1));
+            ctx.load(grid.at(i + 1));
+            ctx.op(2);
+            ctx.store(grid.at(i));
+        }
+    }
+
+    static constexpr int kLevels = 4;
+    static constexpr uint64_t kFineElems = 1'000'000; // 8 MB fine grid
+    ArenaArray levels_[kLevels];
+    WorkloadInfo info_;
+};
+
+/**
+ * 179.art-like: adaptive-resonance neural network. Training scans the
+ * full F1->F2 weight matrix sequentially over and over — a textbook
+ * Circular working-set of ~1.4 MB: hopeless in one 512-KB L2,
+ * perfectly splittable across four.
+ */
+class ArtKernel : public Workload
+{
+  public:
+    ArtKernel()
+    {
+        Arena arena;
+        weightsUp_ = ArenaArray::make(arena, kF1 * kF2, 4);
+        weightsDown_ = ArenaArray::make(arena, kF1 * kF2, 4);
+        f1_ = ArenaArray::make(arena, kF1, 4);
+        info_ = {"179.art", "SPEC2000",
+                 "neural-net training scanning ~1.4 MB of weights"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 8 * 1024;
+        c.loopProb = 0.85;
+        c.seed = 179;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Recognition: compute every F2 activation from the full
+            // bottom-up weight row (sequential scan of the matrix).
+            for (uint64_t j = 0; j < kF2 && !ctx.done(); ++j) {
+                for (uint64_t i = 0; i < kF1; i += 2) {
+                    ctx.load(weightsUp_.at(j * kF1 + i));
+                    ctx.op(1);
+                }
+            }
+            // Resonance: adapt the winner's top-down weights.
+            const uint64_t winner = ctx.rng().below(kF2);
+            for (uint64_t i = 0; i < kF1 && !ctx.done(); ++i) {
+                ctx.load(f1_.at(i));
+                ctx.load(weightsDown_.at(winner * kF1 + i));
+                ctx.op(1);
+                ctx.store(weightsDown_.at(winner * kF1 + i));
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kF1 = 1800;
+    static constexpr uint64_t kF2 = 100; // 2 * 1800 * 100 * 4 B = 1.44 MB
+    ArenaArray weightsUp_;
+    ArenaArray weightsDown_;
+    ArenaArray f1_;
+    WorkloadInfo info_;
+};
+
+/**
+ * 188.ammp-like: molecular dynamics. Each step sweeps the atom array
+ * in order; each atom reads its spatial neighbors (nearby indices,
+ * fixed per run) and accumulates forces. The ~1.3 MB footprint is
+ * revisited every step with mild jitter — circular and splittable.
+ */
+class AmmpKernel : public Workload
+{
+  public:
+    AmmpKernel()
+    {
+        Arena arena;
+        atoms_ = ArenaArray::make(arena, kAtoms, 80); // pos/vel/force
+        neighbors_ = ArenaArray::make(arena, kAtoms * kNeighbors, 4);
+        info_ = {"188.ammp", "SPEC2000",
+                 "molecular dynamics sweeping ~1.3 MB of atoms + lists"};
+        // Fixed neighbor structure: spatially close indices.
+        Rng rng(188);
+        neighborIdx_.resize(kAtoms * kNeighbors);
+        for (uint64_t a = 0; a < kAtoms; ++a) {
+            for (unsigned n = 0; n < kNeighbors; ++n) {
+                const int64_t off =
+                    static_cast<int64_t>(rng.below(64)) - 32;
+                int64_t idx = static_cast<int64_t>(a) + off;
+                idx = std::clamp<int64_t>(idx, 0, kAtoms - 1);
+                neighborIdx_[a * kNeighbors + n] =
+                    static_cast<uint32_t>(idx);
+            }
+        }
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 24 * 1024;
+        c.loopProb = 0.75;
+        c.seed = 188;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            for (uint64_t a = 0; a < kAtoms && !ctx.done(); ++a) {
+                ctx.load(atoms_.at(a, 0));  // position
+                for (unsigned n = 0; n < kNeighbors; ++n) {
+                    const uint32_t b = neighborIdx_[a * kNeighbors + n];
+                    ctx.load(neighbors_.at(a * kNeighbors + n));
+                    ctx.load(atoms_.at(b, 0));
+                    ctx.op(2); // pair force
+                }
+                ctx.store(atoms_.at(a, 48)); // force accumulator
+            }
+            // Integrate: second, lighter sweep.
+            for (uint64_t a = 0; a < kAtoms && !ctx.done(); ++a) {
+                ctx.load(atoms_.at(a, 48));
+                ctx.op(1);
+                ctx.store(atoms_.at(a, 24)); // velocity
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kAtoms = 12'000;  // 80 B each: 0.96 MB
+    static constexpr unsigned kNeighbors = 8;   // + 0.37 MB of lists
+    ArenaArray atoms_;
+    ArenaArray neighbors_;
+    std::vector<uint32_t> neighborIdx_;
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSwim()
+{
+    return std::make_unique<SwimKernel>();
+}
+
+std::unique_ptr<Workload>
+makeMgrid()
+{
+    return std::make_unique<MgridKernel>();
+}
+
+std::unique_ptr<Workload>
+makeArt()
+{
+    return std::make_unique<ArtKernel>();
+}
+
+std::unique_ptr<Workload>
+makeAmmp()
+{
+    return std::make_unique<AmmpKernel>();
+}
+
+} // namespace xmig

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * SPEC CPU2000 integer-like kernels, part 2: 197.parser, 255.vortex,
+ * 256.bzip2, 300.twolf.
+ *
+ * parser walks dictionary structures in effectively random order over
+ * ~4 MB (no split benefit; footprint also exceeds 4xL2 at the hot
+ * end). vortex is instruction-heavy with a ~1 MB clustered object
+ * pool. bzip2 makes repeated passes over a ~1 MB block — circular
+ * and splittable (Table 2 ratio 0.35). twolf's annealing state fits
+ * a single 512-KB L2, so L2 filtering must suppress migrations.
+ */
+
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace xmig {
+
+namespace {
+
+/**
+ * 197.parser-like: link-grammar parsing. Per word: hash probe into a
+ * large dictionary, then a short chain of connector nodes at random
+ * pool offsets.
+ */
+class ParserKernel : public Workload
+{
+  public:
+    ParserKernel()
+    {
+        Arena arena;
+        dict_ = ArenaArray::make(arena, kDictEntries, 32); // 2 MB
+        pool_ = ArenaArray::make(arena, kPoolNodes, 24);   // 1.5 MB
+        info_ = {"197.parser", "SPEC2000",
+                 "dictionary hashing + random pointer chains in ~3.5 MB"};
+        Rng rng(197);
+        next_.resize(kPoolNodes);
+        for (auto &n : next_)
+            n = static_cast<uint32_t>(rng.below(kPoolNodes));
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 96 * 1024;
+        c.loopProb = 0.5;
+        c.seed = 197;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Look the next word up.
+            ctx.load(dict_.at(ctx.rng().below(kDictEntries)));
+            ctx.op(4);
+            // Chase its connector list.
+            uint64_t n = ctx.rng().below(kPoolNodes);
+            for (unsigned d = 0; d < 3; ++d) {
+                ctx.loadPtr(pool_.at(n));
+                ctx.op(3); // match connectors
+                n = next_[n];
+            }
+            if (ctx.rng().chance(0.2))
+                ctx.store(pool_.at(n, 16)); // memoize a linkage
+            ctx.op(8); // grammar checking
+        }
+    }
+
+  private:
+    static constexpr uint64_t kDictEntries = 64 * 1024;
+    static constexpr uint64_t kPoolNodes = 64 * 1024;
+    ArenaArray dict_;
+    ArenaArray pool_;
+    std::vector<uint32_t> next_;
+    WorkloadInfo info_;
+};
+
+/**
+ * 255.vortex-like: object-oriented database transactions. A large
+ * code image (Table 1: 41.8M IL1 misses) plus clustered object
+ * accesses: a transaction picks an object cluster and walks its
+ * members sequentially.
+ */
+class VortexKernel : public Workload
+{
+  public:
+    VortexKernel()
+    {
+        Arena arena;
+        objects_ = ArenaArray::make(arena, kObjects, 64); // 1 MB
+        index_ = ArenaArray::make(arena, kObjects / 8, 16);
+        info_ = {"255.vortex", "SPEC2000",
+                 "OO database: 1.3 MB code, clustered 1 MB object pool"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 1600 * 1024;
+        c.loopProb = 0.2;
+        c.localCallProb = 0.45;
+        c.seed = 255;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Transaction: B-tree-ish index probe, then walk one
+            // cluster of objects.
+            ctx.load(index_.at(ctx.rng().below(index_.count)));
+            ctx.op(5);
+            const uint64_t cluster =
+                ctx.rng().below(kObjects / kClusterSize) * kClusterSize;
+            for (uint64_t o = 0; o < kClusterSize && !ctx.done(); ++o) {
+                ctx.load(objects_.at(cluster + o));
+                ctx.op(6); // method dispatch, field validation
+                if (ctx.rng().chance(0.25))
+                    ctx.store(objects_.at(cluster + o, 32));
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kObjects = 16 * 1024;
+    static constexpr uint64_t kClusterSize = 16;
+    ArenaArray objects_;
+    ArenaArray index_;
+    WorkloadInfo info_;
+};
+
+/**
+ * 256.bzip2-like: block-sorting compression. Each block (~1 MB) is
+ * swept repeatedly: radix/bucket passes read it sequentially and
+ * scatter into count/pointer arrays, then the sorted order is read
+ * back. The block is re-referenced pass after pass — circular.
+ */
+class Bzip2Kernel : public Workload
+{
+  public:
+    Bzip2Kernel()
+    {
+        Arena arena;
+        block_ = ArenaArray::make(arena, kBlockBytes, 1);   // 832 KB
+        pointers_ = ArenaArray::make(arena, kBlockBytes, 4); // quarter
+        counts_ = ArenaArray::make(arena, 2 * 1024, 4); // 8 KB: hot
+        info_ = {"256.bzip2", "SPEC2000",
+                 "block sorting: repeated passes over a ~1 MB block"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 20 * 1024;
+        c.loopProb = 0.75;
+        c.seed = 256;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            // Counting pass: sequential read of the block; the radix
+            // histogram is small and stays L1-resident.
+            for (uint64_t i = 0; i < kBlockBytes && !ctx.done(); i += 4) {
+                ctx.load(block_.at(i));
+                ctx.op(1);
+                const uint64_t bucket =
+                    (i * 2654435761u) % counts_.count;
+                ctx.load(counts_.at(bucket));
+                ctx.store(counts_.at(bucket)); // counts[b]++
+            }
+            // Pointer-scatter pass: sequential read, strided writes
+            // within the first quarter of the pointer array.
+            for (uint64_t i = 0; i < kBlockBytes / 4 && !ctx.done();
+                 i += 4) {
+                ctx.load(block_.at(i * 4));
+                ctx.op(2);
+                ctx.store(pointers_.at(i));
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t kBlockBytes = 832 * 1024;
+    ArenaArray block_;
+    ArenaArray pointers_;
+    ArenaArray counts_;
+    WorkloadInfo info_;
+};
+
+/**
+ * 300.twolf-like: standard-cell placement annealing over a small
+ * netlist. The ~0.35 MB footprint fits one 512-KB L2: after warm-up
+ * there are almost no L2 misses, and with L2 filtering the
+ * controller must leave the execution alone.
+ */
+class TwolfKernel : public Workload
+{
+  public:
+    TwolfKernel()
+    {
+        Arena arena;
+        cells_ = ArenaArray::make(arena, kCells, 24);  // 168 KB
+        nets_ = ArenaArray::make(arena, kNets, 16);    // 176 KB
+        info_ = {"300.twolf", "SPEC2000",
+                 "annealing over ~0.35 MB: fits a single L2"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 48 * 1024;
+        c.loopProb = 0.55;
+        c.seed = 300;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        uint64_t a = 0;
+        while (!ctx.done()) {
+            // Annealing visits cells in sweep order; the partner cell
+            // and the affected nets are spatially close, so the
+            // stream is locally structured (unlike vpr's).
+            ctx.load(cells_.at(a));
+            const uint64_t b =
+                (a + ctx.rng().below(kCells / 16)) % kCells;
+            ctx.load(cells_.at(b));
+            for (unsigned n = 0; n < 3; ++n) {
+                const uint64_t net =
+                    (a * 3 / 2 + ctx.rng().below(kNets / 16)) % kNets;
+                ctx.load(nets_.at(net));
+                ctx.op(4);
+            }
+            if (ctx.rng().chance(0.35))
+                ctx.store(cells_.at(a, 8));
+            ctx.op(10); // cost deltas, random-number generation
+            a = (a + 1) % kCells;
+        }
+    }
+
+  private:
+    static constexpr uint64_t kCells = 7 * 1024;
+    static constexpr uint64_t kNets = 11 * 1024;
+    ArenaArray cells_;
+    ArenaArray nets_;
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeParser()
+{
+    return std::make_unique<ParserKernel>();
+}
+
+std::unique_ptr<Workload>
+makeVortex()
+{
+    return std::make_unique<VortexKernel>();
+}
+
+std::unique_ptr<Workload>
+makeBzip2()
+{
+    return std::make_unique<Bzip2Kernel>();
+}
+
+std::unique_ptr<Workload>
+makeTwolf()
+{
+    return std::make_unique<TwolfKernel>();
+}
+
+} // namespace xmig

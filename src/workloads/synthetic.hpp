@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Synthetic element streams from section 3.3 of the paper.
+ *
+ * These generate abstract working-set elements (cache-line ids) for
+ * driving the affinity algorithm directly: Circular and HalfRandom(m)
+ * are the two behaviors of Figure 3; UniformRandom is the
+ * unsplittable stream used in the transition-filter analysis of
+ * section 3.4; Stride models the constant-stride streams that
+ * motivate the prime-modulus sampling hash of section 3.5.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+
+/** Generator of an infinite stream of working-set elements. */
+class ElementStream
+{
+  public:
+    virtual ~ElementStream() = default;
+
+    /** Next referenced element id. */
+    virtual uint64_t next() = 0;
+};
+
+/** 0, 1, ..., N-1, 0, 1, ... — the key splittable behavior. */
+class CircularStream : public ElementStream
+{
+  public:
+    explicit CircularStream(uint64_t n)
+        : n_(n)
+    {
+        XMIG_ASSERT(n >= 1, "empty working set");
+    }
+
+    uint64_t
+    next() override
+    {
+        const uint64_t e = pos_;
+        pos_ = (pos_ + 1) % n_;
+        return e;
+    }
+
+  private:
+    uint64_t n_;
+    uint64_t pos_ = 0;
+};
+
+/**
+ * HalfRandom(m): m random elements from [0, N/2), then m random
+ * elements from [N/2, N), alternating forever.
+ */
+class HalfRandomStream : public ElementStream
+{
+  public:
+    HalfRandomStream(uint64_t n, uint64_t m, uint64_t seed = 99)
+        : n_(n), m_(m), rng_(seed)
+    {
+        XMIG_ASSERT(n >= 2 && m >= 1, "bad HalfRandom parameters");
+    }
+
+    uint64_t
+    next() override
+    {
+        if (left_ == 0) {
+            left_ = m_;
+            lowHalf_ = !lowHalf_;
+        }
+        --left_;
+        const uint64_t half = n_ / 2;
+        return lowHalf_ ? rng_.below(half) : half + rng_.below(n_ - half);
+    }
+
+  private:
+    uint64_t n_;
+    uint64_t m_;
+    Rng rng_;
+    uint64_t left_ = 0;
+    bool lowHalf_ = false;
+};
+
+/** Uniformly random elements: the canonical unsplittable stream. */
+class UniformRandomStream : public ElementStream
+{
+  public:
+    explicit UniformRandomStream(uint64_t n, uint64_t seed = 7)
+        : n_(n), rng_(seed)
+    {
+        XMIG_ASSERT(n >= 1, "empty working set");
+    }
+
+    uint64_t next() override { return rng_.below(n_); }
+
+  private:
+    uint64_t n_;
+    Rng rng_;
+};
+
+/** Constant-stride stream over [0, N): 0, s, 2s, ... (mod N). */
+class StrideStream : public ElementStream
+{
+  public:
+    StrideStream(uint64_t n, uint64_t stride)
+        : n_(n), stride_(stride)
+    {
+        XMIG_ASSERT(n >= 1 && stride >= 1, "bad stride parameters");
+    }
+
+    uint64_t
+    next() override
+    {
+        const uint64_t e = pos_;
+        pos_ = (pos_ + stride_) % n_;
+        return e;
+    }
+
+  private:
+    uint64_t n_;
+    uint64_t stride_;
+    uint64_t pos_ = 0;
+};
+
+} // namespace xmig

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Workload framework: instrumented kernels emitting reference streams.
+ *
+ * Substitution note (see DESIGN.md): the paper drives its experiments
+ * with SPEC CPU2000 and Olden binaries under SimpleScalar/PISA. Those
+ * binaries and inputs are not available here, so each benchmark is
+ * re-implemented as a genuine C++ kernel with the documented access
+ * pattern of the original, executing over a deterministic simulated
+ * address space (an Arena) and emitting every instruction fetch, load
+ * and store it performs. The downstream machinery — L1 filters, LRU
+ * stacks, the affinity algorithm, the migration machine — consumes
+ * exactly the same kind of stream it would from a functional
+ * simulator.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/trace.hpp"
+#include "workloads/code_walker.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+
+/** Identity and provenance of a workload. */
+struct WorkloadInfo
+{
+    std::string name;        ///< e.g. "181.mcf"
+    std::string suite;       ///< "SPEC2000" or "Olden"
+    std::string description; ///< one line on the modeled behavior
+};
+
+/**
+ * Deterministic simulated address space.
+ *
+ * Kernels allocate their data structures here so that emitted
+ * addresses are identical on every run (no dependence on the host
+ * heap layout).
+ */
+class Arena
+{
+  public:
+    explicit Arena(uint64_t base = 0x1'0000'0000ULL)
+        : next_(base)
+    {
+    }
+
+    /** Reserve `bytes` bytes; returns the base address. */
+    uint64_t
+    alloc(uint64_t bytes, uint64_t align = 64)
+    {
+        next_ = (next_ + align - 1) / align * align;
+        const uint64_t base = next_;
+        next_ += bytes;
+        return base;
+    }
+
+    uint64_t used(uint64_t base = 0x1'0000'0000ULL) const
+    {
+        return next_ - base;
+    }
+
+  private:
+    uint64_t next_;
+};
+
+/** A fixed-stride array in the Arena. */
+struct ArenaArray
+{
+    uint64_t base = 0;
+    uint64_t elemBytes = 8;
+    uint64_t count = 0;
+
+    uint64_t
+    at(uint64_t i, uint64_t field_offset = 0) const
+    {
+        XMIG_ASSERT(i < count, "arena index %llu out of %llu",
+                    (unsigned long long)i, (unsigned long long)count);
+        return base + i * elemBytes + field_offset;
+    }
+
+    static ArenaArray
+    make(Arena &arena, uint64_t count, uint64_t elem_bytes)
+    {
+        ArenaArray a;
+        a.base = arena.alloc(count * elem_bytes);
+        a.elemBytes = elem_bytes;
+        a.count = count;
+        return a;
+    }
+};
+
+/**
+ * Emission context handed to a running kernel.
+ *
+ * One dynamic instruction == one instruction fetch (via the code
+ * walker). Data-touching helpers emit the instruction and then its
+ * data reference, so the instruction/reference mix of the stream is
+ * under kernel control.
+ */
+class EmitCtx
+{
+  public:
+    EmitCtx(RefSink &sink, const CodeWalkerConfig &code, uint64_t budget,
+            uint64_t seed)
+        : sink_(sink),
+          walker_(code),
+          budget_(budget),
+          rng_(seed)
+    {
+    }
+
+    /** Emit `n` compute instructions (fetch only). */
+    void
+    op(unsigned n = 1)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            walker_.step(sink_);
+        instructions_ += n;
+    }
+
+    /** Emit one load instruction touching `addr`. */
+    void
+    load(uint64_t addr)
+    {
+        op();
+        sink_.access(MemRef::load(addr));
+    }
+
+    /**
+     * Emit one pointer load: a load whose result is chased as an
+     * address (kernels mark these on their linked-data-structure
+     * walks; see MemRef::pointer).
+     */
+    void
+    loadPtr(uint64_t addr)
+    {
+        op();
+        sink_.access(MemRef::pointerLoad(addr));
+    }
+
+    /** Emit one store instruction touching `addr`. */
+    void
+    store(uint64_t addr)
+    {
+        op();
+        sink_.access(MemRef::store(addr));
+    }
+
+    uint64_t instructions() const { return instructions_; }
+    bool done() const { return instructions_ >= budget_; }
+    uint64_t budget() const { return budget_; }
+
+    /** Kernel-private RNG (deterministic per run). */
+    Rng &rng() { return rng_; }
+
+  private:
+    RefSink &sink_;
+    CodeWalker walker_;
+    uint64_t budget_;
+    uint64_t instructions_ = 0;
+    Rng rng_;
+};
+
+/**
+ * Base class of every benchmark kernel.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const WorkloadInfo &info() const = 0;
+
+    /** Shape of this workload's synthetic code image. */
+    virtual CodeWalkerConfig codeConfig() const
+    {
+        return CodeWalkerConfig{};
+    }
+
+    /**
+     * Execute the kernel, emitting references into `sink`, until
+     * about `max_instructions` dynamic instructions have been
+     * emitted (kernels may overshoot by one inner phase).
+     */
+    void
+    run(RefSink &sink, uint64_t max_instructions, uint64_t seed = 42)
+    {
+        EmitCtx ctx(sink, codeConfig(), max_instructions, seed);
+        execute(ctx);
+    }
+
+  protected:
+    virtual void execute(EmitCtx &ctx) = 0;
+};
+
+} // namespace xmig

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the write-policy cache model (section 2.1 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+
+namespace xmig {
+namespace {
+
+CacheConfig
+tinyConfig(WritePolicy write)
+{
+    CacheConfig c;
+    c.capacityBytes = 4 * 64; // 4 lines
+    c.ways = 2;
+    c.lineBytes = 64;
+    c.write = write;
+    return c;
+}
+
+TEST(Cache, ReadMissFillsThenHits)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteBackAllocate));
+    AccessOutcome first = cache.access(10, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_TRUE(first.filled);
+    AccessOutcome second = cache.access(10, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, WriteBackAllocateSetsModified)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteBackAllocate));
+    AccessOutcome out = cache.access(10, true);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.filled);
+    EXPECT_FALSE(out.writeThrough);
+    ASSERT_NE(cache.findEntry(10), nullptr);
+    EXPECT_TRUE(cache.findEntry(10)->modified);
+}
+
+TEST(Cache, WriteThroughNoAllocateStoreMiss)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteThroughNoAllocate));
+    AccessOutcome out = cache.access(10, true);
+    EXPECT_FALSE(out.hit);
+    EXPECT_FALSE(out.filled); // non-write-allocate
+    EXPECT_TRUE(out.writeThrough);
+    EXPECT_FALSE(cache.contains(10));
+}
+
+TEST(Cache, WriteThroughStoreHitPropagates)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteThroughNoAllocate));
+    cache.access(10, false); // allocate via load
+    AccessOutcome out = cache.access(10, true);
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.writeThrough);
+    // WT caches never hold dirty lines.
+    EXPECT_FALSE(cache.findEntry(10)->modified);
+}
+
+TEST(Cache, EvictingModifiedLineWritesBack)
+{
+    CacheConfig c = tinyConfig(WritePolicy::WriteBackAllocate);
+    c.capacityBytes = 2 * 64; // 2 lines, 2 ways: one set
+    Cache cache(c);
+    cache.access(1, true); // dirty
+    cache.access(2, false);
+    AccessOutcome out = cache.access(3, false); // evicts line 1 (LRU)
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedLine, 1u);
+    EXPECT_TRUE(out.writeback);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, EvictingCleanLineNoWriteback)
+{
+    CacheConfig c = tinyConfig(WritePolicy::WriteBackAllocate);
+    c.capacityBytes = 2 * 64;
+    Cache cache(c);
+    cache.access(1, false);
+    cache.access(2, false);
+    AccessOutcome out = cache.access(3, false);
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_FALSE(out.writeback);
+}
+
+TEST(Cache, FillInstallsWithoutCountingAccess)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteBackAllocate));
+    AccessOutcome out = cache.fill(42, false);
+    EXPECT_TRUE(out.filled);
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.contains(42));
+}
+
+TEST(Cache, FillOnResidentLineOrsModified)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteBackAllocate));
+    cache.fill(42, false);
+    EXPECT_FALSE(cache.findEntry(42)->modified);
+    cache.fill(42, true);
+    EXPECT_TRUE(cache.findEntry(42)->modified);
+    cache.fill(42, false); // must not clear
+    EXPECT_TRUE(cache.findEntry(42)->modified);
+}
+
+TEST(Cache, InvalidateClearsLine)
+{
+    Cache cache(tinyConfig(WritePolicy::WriteBackAllocate));
+    cache.access(10, true);
+    EXPECT_TRUE(cache.invalidate(10));
+    EXPECT_FALSE(cache.contains(10));
+    EXPECT_FALSE(cache.invalidate(10));
+}
+
+TEST(Cache, SkewedConfigWorksEndToEnd)
+{
+    CacheConfig c;
+    c.capacityBytes = 512 * 1024;
+    c.ways = 4;
+    c.skewed = true;
+    Cache cache(c);
+    // Fill with a sequential run the size of the cache; a healthy
+    // skewed cache retains most of it.
+    const uint64_t lines = c.numLines();
+    for (uint64_t l = 0; l < lines; ++l)
+        cache.access(0x4000000 + l, false);
+    uint64_t resident = 0;
+    for (uint64_t l = 0; l < lines; ++l)
+        resident += cache.contains(0x4000000 + l) ? 1 : 0;
+    EXPECT_GT(resident, lines * 3 / 4);
+}
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Behavioral properties of the affinity algorithm (sections 3.2-3.3):
+ * negative-feedback balance, Circular/HalfRandom splitting, the
+ * N > 2|R| splittability threshold, and the low-pass bound on the
+ * transition frequency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/snapshot.hpp"
+
+namespace xmig {
+namespace {
+
+SnapshotResult
+snap(ElementStream &s, uint64_t n, size_t window, uint64_t refs,
+     ArKind ar = ArKind::Exact, WindowKind wk = WindowKind::Fifo)
+{
+    SnapshotParams p;
+    p.numElements = n;
+    p.references = refs;
+    p.engine.windowSize = window;
+    p.engine.ar = ar;
+    p.engine.window = wk;
+    return runAffinitySnapshot(s, p);
+}
+
+double
+balance(const SnapshotResult &r)
+{
+    const uint64_t lo = std::min(r.positive, r.negative);
+    const uint64_t hi = std::max<uint64_t>(1, std::max(r.positive,
+                                                       r.negative));
+    return static_cast<double>(lo) / static_cast<double>(hi);
+}
+
+TEST(AffinityBehavior, CircularSplitsBalancedAndContiguous)
+{
+    CircularStream s(4000);
+    const SnapshotResult r = snap(s, 4000, 100, 1'000'000);
+    EXPECT_GT(balance(r), 0.9);
+    // A good Circular split is a handful of contiguous segments.
+    EXPECT_LE(r.signSegments, 8u);
+    // Figure 3 reports ~1 transition per 2000 references.
+    EXPECT_LT(r.transitionFrequency, 0.002);
+}
+
+TEST(AffinityBehavior, HalfRandomSplitsAlongTheHalves)
+{
+    HalfRandomStream s(4000, 300);
+    const SnapshotResult r = snap(s, 4000, 100, 1'000'000);
+    EXPECT_GT(balance(r), 0.9);
+    // The natural split is low half vs high half: 2 segments.
+    EXPECT_LE(r.signSegments, 4u);
+    // One phase change every 300 refs; allow sign flapping at phase
+    // boundaries.
+    EXPECT_LT(r.transitionFrequency, 0.02);
+}
+
+TEST(AffinityBehavior, UniformRandomIsNotSplittable)
+{
+    UniformRandomStream s(4000);
+    const SnapshotResult r = snap(s, 4000, 100, 500'000);
+    // However balanced the signs, raw-affinity transitions occur
+    // about every other reference (section 3.4).
+    EXPECT_GT(r.transitionFrequency, 0.4);
+}
+
+/**
+ * Fraction of the positive set that stays positive when the run is
+ * extended by half a working-set pass. A genuine split is stable; the
+ * degenerate below-threshold "split" just tracks the R-window, so its
+ * positive set shifts with it.
+ */
+double
+signStability(uint64_t n, size_t window)
+{
+    CircularStream s1(n), s2(n);
+    const SnapshotResult a = snap(s1, n, window, 500'000);
+    const SnapshotResult b = snap(s2, n, window, 500'000 + n / 2);
+    uint64_t pos = 0, stable = 0;
+    for (uint64_t e = 0; e < n; ++e) {
+        if (a.affinity[e] >= 0) {
+            ++pos;
+            stable += b.affinity[e] >= 0 ? 1 : 0;
+        }
+    }
+    return pos == 0 ? 0.0
+                    : static_cast<double>(stable) /
+                          static_cast<double>(pos);
+}
+
+TEST(AffinityBehavior, CircularBelowThresholdDoesNotSplit)
+{
+    // Section 3.3: Circular splits iff N > 2|R|. Below the threshold
+    // every element spends at least half its time inside R, the
+    // negative feedback cannot act, and the positive subset is just
+    // the current R-window contents — it moves with the window.
+    EXPECT_LT(signStability(200, 128), 0.6);
+    // With N barely above |R| the moving window covers most of the
+    // set, so instability is bounded; the giveaway is the positive
+    // subset pinning at |R| instead of N/2.
+    CircularStream s(150);
+    const SnapshotResult r = snap(s, 150, 128, 500'000);
+    EXPECT_GT(std::max(r.positive, r.negative), 150u * 2 / 3);
+}
+
+TEST(AffinityBehavior, CircularAboveThresholdIsStable)
+{
+    EXPECT_GT(signStability(300, 128), 0.85);
+    EXPECT_GT(signStability(400, 128), 0.85);
+}
+
+TEST(AffinityBehavior, CircularAboveThresholdSplits)
+{
+    CircularStream s(300);
+    const SnapshotResult r = snap(s, 300, 128, 500'000);
+    EXPECT_GT(balance(r), 0.7);
+}
+
+TEST(AffinityBehavior, TransitionFrequencyLowPassBound)
+{
+    // Section 3.3: after enough time, Circular transitions never
+    // exceed one per 2|R| references.
+    for (size_t window : {50u, 100u, 200u}) {
+        CircularStream s(4000);
+        SnapshotParams p;
+        p.numElements = 4000;
+        p.references = 2'000'000;
+        p.engine.windowSize = window;
+        const SnapshotResult r = runAffinitySnapshot(s, p);
+        EXPECT_LT(r.transitionFrequency, 1.0 / (2.0 * window) * 1.5)
+            << "|R| = " << window;
+    }
+}
+
+TEST(AffinityBehavior, Figure2VariantAlsoSplitsCircular)
+{
+    CircularStream s(4000);
+    const SnapshotResult r =
+        snap(s, 4000, 100, 1'000'000, ArKind::Figure2);
+    EXPECT_GT(balance(r), 0.8);
+    EXPECT_LT(r.transitionFrequency, 0.05);
+}
+
+TEST(AffinityBehavior, DistinctLruWindowAlsoSplitsCircular)
+{
+    CircularStream s(4000);
+    const SnapshotResult r = snap(s, 4000, 100, 1'000'000,
+                                  ArKind::Exact,
+                                  WindowKind::DistinctLru);
+    EXPECT_GT(balance(r), 0.9);
+    EXPECT_LT(r.transitionFrequency, 0.002);
+}
+
+TEST(AffinityBehavior, SaturationKeepsSixteenBitRange)
+{
+    CircularStream s(4000);
+    SnapshotParams p;
+    p.numElements = 4000;
+    p.references = 3'000'000; // long enough to saturate
+    p.engine.affinityBits = 16;
+    const SnapshotResult r = runAffinitySnapshot(s, p);
+    for (int64_t a : r.affinity) {
+        EXPECT_GE(a, -(1 << 16)); // I_e + Delta can exceed 16 bits by
+        EXPECT_LE(a, (1 << 16));  // at most one step's worth
+    }
+}
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the generalized recursive k-way splitter (the section 6
+ * "larger number of cores" conjecture).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/kway_splitter.hpp"
+#include "core/oe_store.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace xmig {
+namespace {
+
+KWaySplitter::Config
+config(unsigned depth)
+{
+    KWaySplitter::Config c;
+    c.depth = depth;
+    c.rootWindow = 128;
+    c.filterBits = 20;
+    return c;
+}
+
+TEST(KWaySplitter, TreeShape)
+{
+    UnboundedOeStore store(16);
+    for (unsigned depth : {1u, 2u, 3u, 4u}) {
+        KWaySplitter splitter(config(depth), store);
+        EXPECT_EQ(splitter.numSubsets(), 1u << depth);
+        EXPECT_EQ(splitter.numMechanisms(), (1u << depth) - 1);
+    }
+}
+
+TEST(KWaySplitter, SubsetInRange)
+{
+    UnboundedOeStore store(16);
+    KWaySplitter splitter(config(3), store);
+    UniformRandomStream s(4000);
+    for (int t = 0; t < 100'000; ++t)
+        ASSERT_LT(splitter.onReference(s.next()).subset, 8u);
+}
+
+TEST(KWaySplitter, DepthOneMatchesTwoWayBehavior)
+{
+    // depth 1 == one mechanism == the paper's 2-way splitter.
+    UnboundedOeStore store(16);
+    KWaySplitter splitter(config(1), store);
+    CircularStream s(4000);
+    for (int t = 0; t < 1'000'000; ++t)
+        splitter.onReference(s.next());
+    std::map<unsigned, uint64_t> count;
+    for (int t = 0; t < 4000; ++t)
+        ++count[splitter.onReference(s.next()).subset];
+    EXPECT_GT(count[0], 1200u);
+    EXPECT_GT(count[1], 1200u);
+}
+
+TEST(KWaySplitter, EightWayCircularBalancedSubsets)
+{
+    UnboundedOeStore store(16);
+    KWaySplitter splitter(config(3), store);
+    CircularStream s(8000);
+    for (int t = 0; t < 6'000'000; ++t)
+        splitter.onReference(s.next());
+    std::map<unsigned, uint64_t> count;
+    unsigned prev = 99;
+    uint64_t segments = 0;
+    for (int t = 0; t < 8000; ++t) {
+        const unsigned sub = splitter.onReference(s.next()).subset;
+        ++count[sub];
+        if (sub != prev)
+            ++segments;
+        prev = sub;
+    }
+    // All 8 subsets populated, none dominating.
+    EXPECT_EQ(count.size(), 8u);
+    for (const auto &[sub, n] : count)
+        EXPECT_GT(n, 300u) << "subset " << sub;
+    // Time-coherent: bounded number of runs per cycle.
+    EXPECT_LE(segments, 48u);
+}
+
+TEST(KWaySplitter, FilterFrozenWithoutUpdateFlag)
+{
+    UnboundedOeStore store(16);
+    KWaySplitter splitter(config(3), store);
+    UniformRandomStream s(2000);
+    for (int t = 0; t < 50'000; ++t) {
+        const SplitDecision d = splitter.onReference(s.next(), false);
+        ASSERT_FALSE(d.transition);
+        ASSERT_EQ(d.subset, 0u);
+    }
+    EXPECT_EQ(splitter.transitions(), 0u);
+}
+
+TEST(KWaySplitter, SamplingCutoffRespected)
+{
+    UnboundedOeStore store(16);
+    KWaySplitter::Config c = config(3);
+    c.samplingCutoff = 8;
+    KWaySplitter splitter(c, store);
+    for (uint64_t line = 0; line < 310; ++line) {
+        const SplitDecision d = splitter.onReference(line);
+        ASSERT_EQ(d.sampled, hashMod31(line) < 8);
+    }
+    EXPECT_EQ(store.stats().lookups, 80u);
+}
+
+} // namespace
+} // namespace xmig

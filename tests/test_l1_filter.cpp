@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the L1 filtering level (section 4.1 and 4.2 modes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/l1_filter.hpp"
+
+namespace xmig {
+namespace {
+
+struct CaptureSink : LineSink
+{
+    std::vector<LineEvent> events;
+    void onLine(const LineEvent &e) override { events.push_back(e); }
+};
+
+L1FilterConfig
+smallConfig(bool fully, bool unified)
+{
+    L1FilterConfig c;
+    c.il1Bytes = 4 * 64; // 4 lines each
+    c.dl1Bytes = 4 * 64;
+    c.lineBytes = 64;
+    c.fullyAssociative = fully;
+    c.ways = 2;
+    c.unifiedReadWrite = unified;
+    return c;
+}
+
+TEST(L1Filter, ForwardsMissesOnlyOncePerResidentLine)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(true, true), sink);
+    filter.access(MemRef::load(0x1000));
+    filter.access(MemRef::load(0x1000)); // hit: not forwarded
+    filter.access(MemRef::load(0x1010)); // same line: hit
+    ASSERT_EQ(sink.events.size(), 1u);
+    EXPECT_EQ(sink.events[0].line, 0x1000u / 64);
+    EXPECT_TRUE(sink.events[0].l1Miss);
+}
+
+TEST(L1Filter, SeparatesInstructionAndDataCaches)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(true, true), sink);
+    filter.access(MemRef::ifetch(0x2000));
+    // Same line as a data ref still misses: different cache.
+    filter.access(MemRef::load(0x2000));
+    EXPECT_EQ(sink.events.size(), 2u);
+    EXPECT_EQ(filter.il1Stats().misses, 1u);
+    EXPECT_EQ(filter.dl1Stats().misses, 1u);
+}
+
+TEST(L1Filter, UnifiedModeTreatsStoresAsLoads)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(true, true), sink);
+    filter.access(MemRef::store(0x1000)); // miss: allocates
+    filter.access(MemRef::store(0x1000)); // hit: silent
+    EXPECT_EQ(sink.events.size(), 1u);
+}
+
+TEST(L1Filter, WriteThroughForwardsEveryStore)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(false, false), sink);
+    filter.access(MemRef::load(0x1000));  // miss, forwarded
+    filter.access(MemRef::store(0x1000)); // WT hit: forwarded too
+    ASSERT_EQ(sink.events.size(), 2u);
+    EXPECT_TRUE(sink.events[0].l1Miss);
+    EXPECT_FALSE(sink.events[1].l1Miss); // store hit, not a miss
+    EXPECT_EQ(sink.events[1].type, RefType::Store);
+}
+
+TEST(L1Filter, WriteThroughStoreMissDoesNotAllocate)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(false, false), sink);
+    filter.access(MemRef::store(0x1000)); // NWA miss
+    filter.access(MemRef::store(0x1000)); // still a miss
+    ASSERT_EQ(sink.events.size(), 2u);
+    EXPECT_TRUE(sink.events[0].l1Miss);
+    EXPECT_TRUE(sink.events[1].l1Miss);
+}
+
+TEST(L1Filter, LruEvictionInFullyAssociativeMode)
+{
+    CaptureSink sink;
+    L1Filter filter(smallConfig(true, true), sink);
+    // Fill the 4-line DL1, then re-touch line 0 and add a 5th line:
+    // line 1 is the LRU victim, so touching line 0 again still hits.
+    for (uint64_t l = 0; l < 4; ++l)
+        filter.access(MemRef::load(l * 64));
+    filter.access(MemRef::load(0));
+    filter.access(MemRef::load(4 * 64));
+    sink.events.clear();
+    filter.access(MemRef::load(0)); // must still hit
+    EXPECT_TRUE(sink.events.empty());
+    filter.access(MemRef::load(64)); // line 1 was evicted: miss
+    EXPECT_EQ(sink.events.size(), 1u);
+}
+
+TEST(L1Filter, LineSizeRespected)
+{
+    CaptureSink sink;
+    L1FilterConfig c = smallConfig(true, true);
+    c.lineBytes = 128;
+    L1Filter filter(c, sink);
+    filter.access(MemRef::load(0x1000));
+    filter.access(MemRef::load(0x1040)); // same 128-B line
+    EXPECT_EQ(sink.events.size(), 1u);
+    EXPECT_EQ(filter.geometry().lineBytes(), 128u);
+}
+
+} // namespace
+} // namespace xmig

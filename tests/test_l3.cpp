@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the finite shared-L3 mode of the machine model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "multicore/machine.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace xmig {
+namespace {
+
+MachineConfig
+l3Machine(uint64_t l3_bytes)
+{
+    MachineConfig c;
+    c.numCores = 1;
+    c.il1Bytes = 4 * 64;
+    c.dl1Bytes = 4 * 64;
+    c.l1Ways = 2;
+    c.l2Bytes = 16 * 64;
+    c.l2Ways = 4;
+    c.l2Skewed = false;
+    c.l3Bytes = l3_bytes;
+    c.l3Ways = 4;
+    return c;
+}
+
+void
+drive(MigrationMachine &m, uint64_t lines, uint64_t refs,
+      bool stores = false)
+{
+    CircularStream s(lines);
+    for (uint64_t t = 0; t < refs; ++t) {
+        const uint64_t addr = 0x100000 + s.next() * 64;
+        m.access(stores ? MemRef::store(addr) : MemRef::load(addr));
+    }
+}
+
+TEST(FiniteL3, PerfectModeTracksNothing)
+{
+    MigrationMachine m(l3Machine(0));
+    drive(m, 1000, 20'000);
+    EXPECT_EQ(m.l3(), nullptr);
+    EXPECT_EQ(m.stats().l3Accesses, 0u);
+    EXPECT_EQ(m.stats().l3Misses, 0u);
+}
+
+TEST(FiniteL3, EveryUnforwardedL2MissReachesL3)
+{
+    MigrationMachine m(l3Machine(256 * 64));
+    drive(m, 1000, 20'000);
+    // Single core: no forwarding, no prefetch — L3 accesses equal
+    // L2 read misses.
+    EXPECT_EQ(m.stats().l3Accesses, m.stats().l2Misses);
+    EXPECT_GT(m.stats().l3Misses, 0u);
+    EXPECT_LE(m.stats().l3Misses, m.stats().l3Accesses);
+}
+
+TEST(FiniteL3, WorkingSetInsideL3StopsMissingAfterWarmup)
+{
+    // 100-line working set, 256-line L3: after the first pass the L3
+    // absorbs all L2 misses.
+    MigrationMachine m(l3Machine(256 * 64));
+    drive(m, 100, 100);          // warm-up pass (cold misses)
+    const uint64_t cold = m.stats().l3Misses;
+    drive(m, 100, 20'000);
+    EXPECT_EQ(m.stats().l3Misses, cold);
+}
+
+TEST(FiniteL3, WorkingSetBeyondL3KeepsMissing)
+{
+    MigrationMachine m(l3Machine(256 * 64));
+    drive(m, 4096, 40'000); // 16x the L3: LRU-thrashes it
+    EXPECT_GT(m.stats().l3Misses, m.stats().l3Accesses / 2);
+}
+
+TEST(FiniteL3, DirtyTrafficReachesMemory)
+{
+    MigrationMachine m(l3Machine(64 * 64));
+    drive(m, 4096, 40'000, /*stores=*/true);
+    EXPECT_GT(m.stats().l3Writebacks, 0u);    // L2 -> L3
+    EXPECT_GT(m.stats().memoryWritebacks, 0u); // L3 -> memory
+}
+
+TEST(FiniteL3, MigrationMachineWithL3KeepsInvariants)
+{
+    MachineConfig c; // 4-core paper machine
+    c.l3Bytes = 4 * 1024 * 1024;
+    MigrationMachine m(c);
+    CircularStream s(30'000);
+    Rng rng(6);
+    for (uint64_t t = 0; t < 400'000; ++t) {
+        const uint64_t addr = 0x40000000 + s.next() * 64;
+        m.access(rng.chance(0.2) ? MemRef::store(addr)
+                                 : MemRef::load(addr));
+    }
+    EXPECT_EQ(m.countMultiModifiedLines(), 0u);
+    EXPECT_GT(m.stats().l3Accesses, 0u);
+    // The 1.9 MB working set fits the 4 MB L3: after warm-up the L3
+    // barely misses.
+    EXPECT_LT(m.stats().l3Misses, m.stats().l3Accesses / 4 + 31'000);
+}
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit and property tests for the Mattson LRU-stack profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/fully_assoc.hpp"
+#include "cache/lru_stack.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(LruStack, FirstTouchIsInfinite)
+{
+    LruStack stack;
+    EXPECT_EQ(stack.access(1), LruStack::kInfiniteDepth);
+    EXPECT_EQ(stack.access(2), LruStack::kInfiniteDepth);
+    EXPECT_EQ(stack.coldReferences(), 2u);
+    EXPECT_EQ(stack.distinctLines(), 2u);
+}
+
+TEST(LruStack, ImmediateRepeatIsDepthOne)
+{
+    LruStack stack;
+    stack.access(1);
+    EXPECT_EQ(stack.access(1), 1u);
+}
+
+TEST(LruStack, HandComputedDepths)
+{
+    LruStack stack;
+    stack.access(1); // inf
+    stack.access(2); // inf
+    stack.access(3); // inf
+    EXPECT_EQ(stack.access(1), 3u); // 2 and 3 are above it
+    EXPECT_EQ(stack.access(3), 2u); // 1 is above it
+    EXPECT_EQ(stack.access(3), 1u);
+    EXPECT_EQ(stack.access(2), 3u);
+}
+
+TEST(LruStack, HistogramAccumulates)
+{
+    LruStack stack;
+    stack.access(1);
+    stack.access(1);
+    stack.access(1);
+    stack.access(2);
+    stack.access(1);
+    ASSERT_GE(stack.histogram().size(), 2u);
+    EXPECT_EQ(stack.histogram()[0], 2u); // two depth-1 accesses
+    EXPECT_EQ(stack.histogram()[1], 1u); // one depth-2 access
+    EXPECT_EQ(stack.references(), 5u);
+}
+
+TEST(LruStack, MissesAtSizeInclusionProperty)
+{
+    // Stack inclusion: misses are non-increasing in cache size.
+    LruStack stack;
+    Rng rng(11);
+    for (int i = 0; i < 50000; ++i)
+        stack.access(rng.below(2000));
+    uint64_t prev = stack.missesAtSize(1);
+    for (uint64_t size = 2; size <= 4096; size *= 2) {
+        const uint64_t misses = stack.missesAtSize(size);
+        EXPECT_LE(misses, prev);
+        prev = misses;
+    }
+    // At and beyond the footprint only cold misses remain.
+    EXPECT_EQ(stack.missesAtSize(2000), stack.coldReferences());
+    EXPECT_EQ(stack.missRatioAtSize(2000),
+              static_cast<double>(stack.coldReferences()) /
+                  static_cast<double>(stack.references()));
+}
+
+TEST(LruStack, CompactionPreservesCorrectness)
+{
+    // Exceed the initial Fenwick slot count (64k) to force at least
+    // one compaction, and cross-check against a reference cache.
+    LruStack stack;
+    FullyAssocLru cache(100);
+    Rng rng(5);
+    uint64_t cache_misses = 0, stack_misses_at_100 = 0;
+    const int kRefs = 300'000;
+    for (int i = 0; i < kRefs; ++i) {
+        const uint64_t line = rng.below(500);
+        const uint64_t depth = stack.access(line);
+        if (depth == LruStack::kInfiniteDepth || depth > 100)
+            ++stack_misses_at_100;
+        if (!cache.access(line))
+            ++cache_misses;
+    }
+    EXPECT_EQ(stack_misses_at_100, cache_misses);
+    EXPECT_EQ(stack.missesAtSize(100), cache_misses);
+}
+
+/**
+ * The defining Mattson property: missesAtSize(s) equals the miss
+ * count of an independently simulated fully-associative LRU cache of
+ * s lines — for every s, from one single-pass profile.
+ */
+class LruStackVsCacheTest
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LruStackVsCacheTest, SinglePassMatchesCacheSimulation)
+{
+    const uint64_t size = GetParam();
+    LruStack stack;
+    FullyAssocLru cache(size);
+    Rng rng(77);
+    // Mixed pattern: random + sequential sweeps.
+    for (int round = 0; round < 30; ++round) {
+        for (int i = 0; i < 700; ++i) {
+            const uint64_t line = rng.chance(0.5)
+                ? rng.below(600)
+                : static_cast<uint64_t>(i);
+            stack.access(line);
+            cache.access(line);
+        }
+    }
+    EXPECT_EQ(stack.missesAtSize(size), cache.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LruStackVsCacheTest,
+                         ::testing::Values(1u, 2u, 7u, 32u, 100u, 256u,
+                                           555u, 1024u));
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for O_e storage: unlimited map and the finite affinity
+ * cache (section 3.5 / 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/oe_store.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(UnboundedOeStore, MissInstallsDelta)
+{
+    UnboundedOeStore store(16);
+    // First lookup of a line must force A_e = 0 via O_e = Delta.
+    EXPECT_EQ(store.lookup(100, 42), 42);
+    EXPECT_EQ(store.stats().misses, 1u);
+    // Second lookup returns the stored value regardless of Delta.
+    EXPECT_EQ(store.lookup(100, -7), 42);
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(UnboundedOeStore, StoreOverwrites)
+{
+    UnboundedOeStore store(16);
+    store.lookup(5, 0);
+    store.store(5, 123);
+    EXPECT_EQ(store.lookup(5, 0), 123);
+    EXPECT_EQ(store.peek(5), std::optional<int64_t>(123));
+    EXPECT_EQ(store.peek(6), std::nullopt);
+}
+
+TEST(UnboundedOeStore, SaturatesToAffinityWidth)
+{
+    UnboundedOeStore store(8); // [-128, 127]
+    store.store(1, 1000);
+    EXPECT_EQ(store.lookup(1, 0), 127);
+    store.store(1, -1000);
+    EXPECT_EQ(store.lookup(1, 0), -128);
+    EXPECT_EQ(store.lookup(2, 999), 127); // miss-install saturates too
+}
+
+AffinityCacheConfig
+tinyCache()
+{
+    AffinityCacheConfig c;
+    c.entries = 16;
+    c.ways = 4;
+    c.skewed = false;
+    c.repl = ReplPolicy::Lru;
+    return c;
+}
+
+TEST(AffinityCacheStore, MissForcesDelta)
+{
+    AffinityCacheStore store(tinyCache());
+    EXPECT_EQ(store.lookup(9, -5), -5);
+    EXPECT_EQ(store.lookup(9, 100), -5); // now a hit
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(AffinityCacheStore, CapacityIsBounded)
+{
+    AffinityCacheStore store(tinyCache());
+    for (uint64_t line = 0; line < 1000; ++line)
+        store.lookup(line, 7);
+    EXPECT_LE(store.occupancy(), 16u);
+}
+
+TEST(AffinityCacheStore, EvictionDropsPayload)
+{
+    AffinityCacheConfig c = tinyCache();
+    c.entries = 4;
+    c.ways = 4; // one set: easy to overflow
+    AffinityCacheStore store(c);
+    store.lookup(1, 0);
+    store.store(1, 77);
+    for (uint64_t line = 2; line < 10; ++line)
+        store.lookup(line, 0);
+    // Line 1 must have been displaced; a fresh lookup re-installs
+    // Delta, not the stale 77.
+    EXPECT_EQ(store.peek(1), std::nullopt);
+    EXPECT_EQ(store.lookup(1, 5), 5);
+}
+
+TEST(AffinityCacheStore, StoreReallocatesAfterDisplacement)
+{
+    AffinityCacheConfig c = tinyCache();
+    c.entries = 4;
+    AffinityCacheStore store(c);
+    store.lookup(1, 0);
+    for (uint64_t line = 2; line < 10; ++line)
+        store.lookup(line, 0);
+    // Line 1's entry is gone; a write-back from the R-window must
+    // re-allocate (write-allocate affinity cache).
+    store.store(1, -3);
+    EXPECT_EQ(store.peek(1), std::optional<int64_t>(-3));
+}
+
+TEST(AffinityCacheStore, StorageArithmeticMatchesPaper)
+{
+    // Section 3.5: 32k entries x (20-bit tag + 16-bit affinity +
+    // 2 age bits) = 152 KB; 8k entries = 38 KB.
+    AffinityCacheConfig c;
+    c.entries = 32 * 1024;
+    AffinityCacheStore big(c);
+    EXPECT_EQ(big.storageBits(20) / 8 / 1024, 152u);
+    c.entries = 8 * 1024;
+    AffinityCacheStore small(c);
+    EXPECT_EQ(small.storageBits(20) / 8 / 1024, 38u);
+}
+
+TEST(AffinityCacheStore, SkewedVariantWorks)
+{
+    AffinityCacheConfig c;
+    c.entries = 8 * 1024;
+    c.ways = 4;
+    c.skewed = true;
+    c.repl = ReplPolicy::Age;
+    AffinityCacheStore store(c);
+    for (uint64_t line = 0; line < 6000; ++line)
+        store.lookup(0x4000000 + line, 3);
+    // A sequential working-set below capacity should mostly fit.
+    EXPECT_GT(store.occupancy(), 5000u);
+    EXPECT_LE(store.occupancy(), 8 * 1024u);
+}
+
+} // namespace
+} // namespace xmig

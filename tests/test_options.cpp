@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the shared bench CLI options and the quad-core warm-up
+ * support.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/options.hpp"
+#include "sim/quadcore.hpp"
+
+namespace xmig {
+namespace {
+
+BenchOptions
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return BenchOptions::parse(static_cast<int>(args.size()),
+                               const_cast<char **>(args.data()));
+}
+
+TEST(BenchOptions, Defaults)
+{
+    const BenchOptions opt = parse({});
+    EXPECT_EQ(opt.instructions, 20'000'000u);
+    EXPECT_EQ(opt.warmup, 0u);
+    EXPECT_EQ(opt.seed, 42u);
+    EXPECT_TRUE(opt.benchmarks.empty());
+}
+
+TEST(BenchOptions, ParsesEveryFlag)
+{
+    const BenchOptions opt =
+        parse({"--instr", "1000", "--warmup", "500", "--seed", "7",
+               "--bench", "179.art", "--bench", "health"});
+    EXPECT_EQ(opt.instructions, 1000u);
+    EXPECT_EQ(opt.warmup, 500u);
+    EXPECT_EQ(opt.seed, 7u);
+    ASSERT_EQ(opt.benchmarks.size(), 2u);
+    EXPECT_EQ(opt.benchmarks[0], "179.art");
+    EXPECT_EQ(opt.benchmarks[1], "health");
+}
+
+TEST(BenchOptions, ScaleMultipliesBudget)
+{
+    const BenchOptions opt = parse({"--instr", "1000", "--scale", "2.5"});
+    EXPECT_EQ(opt.instructions, 2500u);
+}
+
+TEST(QuadcoreWarmup, ExcludesWarmupEvents)
+{
+    QuadcoreParams cold;
+    cold.instructionsPerBenchmark = 2'000'000;
+    const QuadcoreRow cold_row = runQuadcore("179.art", cold);
+
+    QuadcoreParams warm = cold;
+    warm.warmupInstructions = 4'000'000;
+    const QuadcoreRow warm_row = runQuadcore("179.art", warm);
+
+    // Counted instructions reflect only the measured window.
+    EXPECT_NEAR(static_cast<double>(warm_row.instructions),
+                static_cast<double>(cold_row.instructions),
+                cold_row.instructions * 0.15);
+    // With the controller already trained, the measured window shows
+    // far fewer migration-machine misses than the cold-start run.
+    EXPECT_LT(warm_row.l2Misses4x, cold_row.l2Misses4x / 2);
+    // The baseline (capacity-bound) miss rate barely changes.
+    EXPECT_NEAR(static_cast<double>(warm_row.l2MissesBaseline),
+                static_cast<double>(cold_row.l2MissesBaseline),
+                cold_row.l2MissesBaseline * 0.25);
+}
+
+} // namespace
+} // namespace xmig

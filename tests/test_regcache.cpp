@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the register-update cache (section 6 extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "multicore/regcache.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+namespace {
+
+RegCacheConfig
+config(unsigned entries)
+{
+    RegCacheConfig c;
+    c.entries = entries;
+    return c;
+}
+
+TEST(RegisterUpdateCache, BypassBroadcastsEverything)
+{
+    RegisterUpdateCache cache(config(0));
+    for (unsigned r = 0; r < 10; ++r)
+        EXPECT_TRUE(cache.write(r % 4));
+    EXPECT_EQ(cache.stats().broadcasts, 10u);
+    EXPECT_DOUBLE_EQ(cache.stats().broadcastRatio(), 1.0);
+}
+
+TEST(RegisterUpdateCache, RepeatedWritesCoalesce)
+{
+    RegisterUpdateCache cache(config(4));
+    // Same register written 100 times: nothing leaves the cache.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(cache.write(7));
+    EXPECT_EQ(cache.stats().broadcasts, 0u);
+    EXPECT_EQ(cache.pending(), 1u);
+}
+
+TEST(RegisterUpdateCache, EvictionBroadcastsLru)
+{
+    RegisterUpdateCache cache(config(2));
+    cache.write(1);
+    cache.write(2);
+    cache.write(1);                 // 2 becomes LRU
+    EXPECT_TRUE(cache.write(3));    // evicts 2
+    EXPECT_EQ(cache.stats().broadcasts, 1u);
+    EXPECT_EQ(cache.pending(), 2u);
+}
+
+TEST(RegisterUpdateCache, MigrationSpillsAllPending)
+{
+    RegisterUpdateCache cache(config(8));
+    for (unsigned r = 0; r < 5; ++r)
+        cache.write(r);
+    EXPECT_EQ(cache.migrate(), 5u);
+    EXPECT_EQ(cache.pending(), 0u);
+    EXPECT_EQ(cache.stats().spilledEntries, 5u);
+    EXPECT_EQ(cache.stats().migrationSpills, 1u);
+}
+
+TEST(RegisterUpdateCache, SkewedStreamGetsLargeReduction)
+{
+    // Register usage is highly skewed; a small cache should absorb
+    // most of the traffic. Compare against the bypass configuration.
+    RegisterUpdateCache small(config(8));
+    RegisterUpdateCache large(config(32));
+    RegisterUpdateCache bypass(config(0));
+    Rng rng(3);
+    for (int i = 0; i < 200'000; ++i) {
+        // ~Zipf over 64 registers: square a uniform draw.
+        const double u = rng.uniform();
+        const unsigned reg =
+            static_cast<unsigned>(u * u * 63.999);
+        small.write(reg);
+        large.write(reg);
+        bypass.write(reg);
+        if (i % 5000 == 4999) {
+            small.migrate(); // periodic migrations spill
+            large.migrate();
+        }
+    }
+    EXPECT_DOUBLE_EQ(bypass.stats().broadcastRatio(), 1.0);
+    // Reduction grows with cache size; 32 entries halve the traffic.
+    EXPECT_LT(small.stats().broadcastRatio(), 0.85);
+    EXPECT_LT(large.stats().broadcastRatio(), 0.5);
+    EXPECT_LT(large.stats().broadcastRatio(),
+              small.stats().broadcastRatio());
+}
+
+TEST(RegisterUpdateCache, BroadcastRatioNeverExceedsOne)
+{
+    RegisterUpdateCache cache(config(4));
+    Rng rng(9);
+    for (int i = 0; i < 50'000; ++i) {
+        cache.write(static_cast<unsigned>(rng.below(64)));
+        if (rng.chance(0.001))
+            cache.migrate();
+    }
+    EXPECT_LE(cache.stats().broadcastRatio(), 1.0);
+    EXPECT_GT(cache.stats().broadcastRatio(), 0.0);
+}
+
+} // namespace
+} // namespace xmig

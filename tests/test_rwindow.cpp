@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the FIFO and distinct-LRU R-window organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rwindow.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(FifoWindow, FillsBeforeEvicting)
+{
+    FifoWindow w(3);
+    WindowSlot evicted;
+    EXPECT_FALSE(w.push(1, 10, &evicted));
+    EXPECT_FALSE(w.push(2, 20, &evicted));
+    EXPECT_FALSE(w.push(3, 30, &evicted));
+    EXPECT_TRUE(w.full());
+    EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(FifoWindow, EvictsInInsertionOrder)
+{
+    FifoWindow w(3);
+    WindowSlot evicted;
+    w.push(1, 10, &evicted);
+    w.push(2, 20, &evicted);
+    w.push(3, 30, &evicted);
+    EXPECT_TRUE(w.push(4, 40, &evicted));
+    EXPECT_EQ(evicted.line, 1u);
+    EXPECT_EQ(evicted.ie, 10);
+    EXPECT_TRUE(w.push(5, 50, &evicted));
+    EXPECT_EQ(evicted.line, 2u);
+}
+
+TEST(FifoWindow, AllowsDuplicates)
+{
+    FifoWindow w(3);
+    WindowSlot evicted;
+    w.push(7, 1, &evicted);
+    w.push(7, 2, &evicted);
+    w.push(7, 3, &evicted);
+    EXPECT_TRUE(w.push(8, 4, &evicted));
+    EXPECT_EQ(evicted.line, 7u);
+    EXPECT_EQ(evicted.ie, 1); // oldest duplicate leaves first
+}
+
+TEST(FifoWindow, FindReturnsMostRecentSlot)
+{
+    FifoWindow w(4);
+    WindowSlot evicted;
+    w.push(7, 1, &evicted);
+    w.push(9, 2, &evicted);
+    w.push(7, 3, &evicted);
+    const WindowSlot *slot = w.find(7);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(slot->ie, 3);
+    EXPECT_EQ(w.find(42), nullptr);
+}
+
+TEST(FifoWindow, ForEachVisitsOldestFirst)
+{
+    FifoWindow w(3);
+    WindowSlot evicted;
+    w.push(1, 0, &evicted);
+    w.push(2, 0, &evicted);
+    w.push(3, 0, &evicted);
+    w.push(4, 0, &evicted); // evicts 1
+    std::vector<uint64_t> order;
+    w.forEach([&](const WindowSlot &s) { order.push_back(s.line); });
+    EXPECT_EQ(order, (std::vector<uint64_t>{2, 3, 4}));
+}
+
+TEST(DistinctLruWindow, RejectsDuplicatesByDesign)
+{
+    DistinctLruWindow w(3);
+    WindowSlot evicted;
+    w.insert(1, 10, &evicted);
+    EXPECT_TRUE(w.contains(1));
+    EXPECT_EQ(w.ieOf(1), 10);
+    EXPECT_FALSE(w.contains(2));
+}
+
+TEST(DistinctLruWindow, EvictsLru)
+{
+    DistinctLruWindow w(3);
+    WindowSlot evicted;
+    w.insert(1, 10, &evicted);
+    w.insert(2, 20, &evicted);
+    w.insert(3, 30, &evicted);
+    w.touch(1); // 2 becomes LRU
+    EXPECT_TRUE(w.insert(4, 40, &evicted));
+    EXPECT_EQ(evicted.line, 2u);
+    EXPECT_TRUE(w.contains(1));
+    EXPECT_FALSE(w.contains(2));
+}
+
+TEST(DistinctLruWindow, SizeAndCapacity)
+{
+    DistinctLruWindow w(2);
+    WindowSlot evicted;
+    EXPECT_EQ(w.size(), 0u);
+    w.insert(1, 0, &evicted);
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_FALSE(w.full());
+    w.insert(2, 0, &evicted);
+    EXPECT_TRUE(w.full());
+    EXPECT_EQ(w.capacity(), 2u);
+}
+
+TEST(DistinctLruWindow, ForEachVisitsOldestFirst)
+{
+    DistinctLruWindow w(3);
+    WindowSlot evicted;
+    w.insert(1, 0, &evicted);
+    w.insert(2, 0, &evicted);
+    w.insert(3, 0, &evicted);
+    w.touch(1);
+    std::vector<uint64_t> order;
+    w.forEach([&](const WindowSlot &s) { order.push_back(s.line); });
+    EXPECT_EQ(order, (std::vector<uint64_t>{2, 3, 1}));
+}
+
+} // namespace
+} // namespace xmig

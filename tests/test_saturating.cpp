@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for runtime-width saturating integers and the paper's
+ * sign convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/saturating.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(SatInt, BoundsMatchWidth)
+{
+    EXPECT_EQ(SatInt::minForBits(16), -32768);
+    EXPECT_EQ(SatInt::maxForBits(16), 32767);
+    EXPECT_EQ(SatInt::minForBits(2), -2);
+    EXPECT_EQ(SatInt::maxForBits(2), 1);
+    EXPECT_EQ(SatInt::minForBits(20), -(1 << 19));
+    EXPECT_EQ(SatInt::maxForBits(20), (1 << 19) - 1);
+}
+
+TEST(SatInt, StartsAtZero)
+{
+    SatInt v(16);
+    EXPECT_EQ(v.get(), 0);
+    EXPECT_FALSE(v.saturated());
+}
+
+TEST(SatInt, AddsWithinRange)
+{
+    SatInt v(16);
+    v.add(100);
+    v.add(-30);
+    EXPECT_EQ(v.get(), 70);
+}
+
+TEST(SatInt, SaturatesHigh)
+{
+    SatInt v(8); // range [-128, 127]
+    v.add(1000);
+    EXPECT_EQ(v.get(), 127);
+    EXPECT_TRUE(v.saturated());
+    v.add(1);
+    EXPECT_EQ(v.get(), 127);
+    v.add(-1);
+    EXPECT_EQ(v.get(), 126);
+    EXPECT_FALSE(v.saturated());
+}
+
+TEST(SatInt, SaturatesLow)
+{
+    SatInt v(8);
+    v.add(-1000);
+    EXPECT_EQ(v.get(), -128);
+    EXPECT_TRUE(v.saturated());
+    v -= 5;
+    EXPECT_EQ(v.get(), -128);
+    v += 3;
+    EXPECT_EQ(v.get(), -125);
+}
+
+TEST(SatInt, InitialValueClamped)
+{
+    SatInt v(8, 500);
+    EXPECT_EQ(v.get(), 127);
+    SatInt w(8, -500);
+    EXPECT_EQ(w.get(), -128);
+}
+
+TEST(SatInt, SetClamps)
+{
+    SatInt v(16);
+    v.set(1 << 20);
+    EXPECT_EQ(v.get(), 32767);
+    v.set(-(1 << 20));
+    EXPECT_EQ(v.get(), -32768);
+    v.set(5);
+    EXPECT_EQ(v.get(), 5);
+}
+
+TEST(SignFunction, ZeroIsPositive)
+{
+    // The paper defines sign(0) = +1 (section 3.2).
+    EXPECT_EQ(affinitySign(0), 1);
+    EXPECT_EQ(affinitySign(5), 1);
+    EXPECT_EQ(affinitySign(-1), -1);
+    EXPECT_EQ(affinitySign(-1000000), -1);
+}
+
+TEST(SaturateToBits, ClampsBothSides)
+{
+    EXPECT_EQ(saturateToBits(40000, 16), 32767);
+    EXPECT_EQ(saturateToBits(-40000, 16), -32768);
+    EXPECT_EQ(saturateToBits(123, 16), 123);
+    EXPECT_EQ(saturateToBits(-123, 16), -123);
+}
+
+/** Saturating addition never escapes the representable range. */
+class SatIntWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatIntWidthTest, RandomWalkStaysInRange)
+{
+    const unsigned bits = GetParam();
+    SatInt v(bits);
+    uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 10000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int64_t delta =
+            static_cast<int64_t>(x >> 40) - (1 << 23);
+        v.add(delta);
+        EXPECT_GE(v.get(), v.min());
+        EXPECT_LE(v.get(), v.max());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatIntWidthTest,
+                         ::testing::Values(2u, 8u, 16u, 17u, 18u, 20u,
+                                           24u, 32u, 62u));
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the synthetic element streams of section 3.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/synthetic.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(CircularStream, ProducesWrappingSequence)
+{
+    CircularStream s(4);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), 1u);
+    EXPECT_EQ(s.next(), 2u);
+    EXPECT_EQ(s.next(), 3u);
+    EXPECT_EQ(s.next(), 0u);
+}
+
+TEST(HalfRandomStream, AlternatesHalvesEveryMReferences)
+{
+    const uint64_t n = 1000, m = 50;
+    HalfRandomStream s(n, m);
+    for (int phase = 0; phase < 10; ++phase) {
+        const bool low = phase % 2 == 0;
+        for (uint64_t i = 0; i < m; ++i) {
+            const uint64_t e = s.next();
+            if (low) {
+                ASSERT_LT(e, n / 2) << "phase " << phase;
+            } else {
+                ASSERT_GE(e, n / 2) << "phase " << phase;
+                ASSERT_LT(e, n);
+            }
+        }
+    }
+}
+
+TEST(HalfRandomStream, CoversBothHalves)
+{
+    HalfRandomStream s(100, 10);
+    uint64_t lo = 0, hi = 0;
+    for (int i = 0; i < 1000; ++i)
+        (s.next() < 50 ? lo : hi) += 1;
+    EXPECT_EQ(lo, 500u);
+    EXPECT_EQ(hi, 500u);
+}
+
+TEST(UniformRandomStream, StaysInRangeAndSpreads)
+{
+    UniformRandomStream s(16);
+    uint64_t hist[16] = {};
+    for (int i = 0; i < 16000; ++i) {
+        const uint64_t e = s.next();
+        ASSERT_LT(e, 16u);
+        ++hist[e];
+    }
+    for (uint64_t h : hist)
+        EXPECT_GT(h, 600u); // ~1000 expected per bin
+}
+
+TEST(StrideStream, AppliesStrideModulo)
+{
+    StrideStream s(10, 3);
+    EXPECT_EQ(s.next(), 0u);
+    EXPECT_EQ(s.next(), 3u);
+    EXPECT_EQ(s.next(), 6u);
+    EXPECT_EQ(s.next(), 9u);
+    EXPECT_EQ(s.next(), 2u); // wrapped
+}
+
+TEST(Streams, DeterministicAcrossInstances)
+{
+    HalfRandomStream a(1000, 30, 5), b(1000, 30, 5);
+    for (int i = 0; i < 500; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Round-trip and robustness tests for binary trace files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "mem/trace_io.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace xmig {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/xmig_trace_" + tag +
+           ".bin";
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty");
+    {
+        TraceWriter writer(path);
+        writer.close();
+    }
+    TraceReader reader(path);
+    MemRef ref;
+    EXPECT_FALSE(reader.next(&ref));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RoundTripsMixedReferences)
+{
+    const std::string path = tempPath("mixed");
+    RefRecorder original;
+    Rng rng(12);
+    for (int i = 0; i < 10'000; ++i) {
+        const uint64_t addr = rng.below(1ULL << 40);
+        switch (rng.below(4)) {
+          case 0:
+            original.access(MemRef::ifetch(addr));
+            break;
+          case 1:
+            original.access(MemRef::load(addr));
+            break;
+          case 2:
+            original.access(MemRef::pointerLoad(addr));
+            break;
+          default:
+            original.access(MemRef::store(addr));
+        }
+    }
+    {
+        TraceWriter writer(path);
+        original.replay(writer);
+        EXPECT_EQ(writer.recordsWritten(), original.refs().size());
+    }
+    TraceReader reader(path);
+    RefRecorder replayed;
+    EXPECT_EQ(reader.replay(replayed), original.refs().size());
+    EXPECT_EQ(replayed.refs(), original.refs());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, DeltaCompressionIsCompact)
+{
+    // A sequential workload trace should cost ~2-3 bytes per record.
+    const std::string path = tempPath("compact");
+    {
+        TraceWriter writer(path);
+        for (uint64_t i = 0; i < 50'000; ++i) {
+            writer.access(MemRef::ifetch(0x400000 + i * 4));
+            writer.access(MemRef::load(0x10000000 + i * 8));
+        }
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fclose(f);
+    EXPECT_LT(bytes, 100'000 * 3);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, WorkloadTraceReplaysIdentically)
+{
+    const std::string path = tempPath("workload");
+    RefRecorder direct;
+    makeWorkload("health")->run(direct, 100'000);
+    {
+        TraceWriter writer(path);
+        direct.replay(writer);
+    }
+    TraceReader reader(path);
+    RefRecorder replayed;
+    reader.replay(replayed);
+    EXPECT_EQ(replayed.refs(), direct.refs());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsNonTraceFile)
+{
+    const std::string path = tempPath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a trace", f);
+    std::fclose(f);
+    EXPECT_DEATH({ TraceReader reader(path); }, "not an xmig trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, DiesOnTruncatedRecord)
+{
+    const std::string path = tempPath("truncated");
+    {
+        TraceWriter writer(path);
+        writer.access(MemRef::load(0x123456789abcULL));
+    }
+    // Chop the final varint byte off.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    std::string data(static_cast<size_t>(size), '\0');
+    f = std::fopen(path.c_str(), "rb");
+    ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    std::fwrite(data.data(), 1, data.size() - 1, f);
+    std::fclose(f);
+
+    TraceReader reader(path);
+    MemRef ref;
+    EXPECT_DEATH({
+        while (reader.next(&ref)) {
+        }
+    }, "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace xmig

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit and property tests for the transition filter (section 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transition_filter.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(TransitionFilter, StartsPositive)
+{
+    TransitionFilter f(18);
+    EXPECT_EQ(f.side(), 1); // sign(0) = +1
+    EXPECT_EQ(f.value(), 0);
+}
+
+TEST(TransitionFilter, FlipsOnSignChange)
+{
+    TransitionFilter f(18);
+    EXPECT_FALSE(f.update(100)); // still positive
+    EXPECT_TRUE(f.update(-200)); // crosses below zero
+    EXPECT_EQ(f.side(), -1);
+    EXPECT_TRUE(f.update(300));
+    EXPECT_EQ(f.side(), 1);
+    EXPECT_EQ(f.transitions(), 2u);
+    EXPECT_EQ(f.updates(), 3u);
+}
+
+TEST(TransitionFilter, SaturatesAtWidth)
+{
+    TransitionFilter f(8); // [-128, 127]
+    for (int i = 0; i < 100; ++i)
+        f.update(1000);
+    EXPECT_EQ(f.value(), 127);
+    EXPECT_TRUE(f.saturated());
+}
+
+TEST(TransitionFilter, ExtraBitsHalveRandomTransitions)
+{
+    // With saturated random +/-2^15 inputs, b filter bits give a
+    // transition frequency near 1/2^(1+b-16) (section 3.4).
+    double prev_freq = 1.0;
+    for (unsigned bits = 17; bits <= 21; ++bits) {
+        TransitionFilter f(bits);
+        Rng rng(bits);
+        const int kSteps = 400'000;
+        for (int i = 0; i < kSteps; ++i)
+            f.update(rng.chance(0.5) ? 32767 : -32768);
+        const double freq =
+            static_cast<double>(f.transitions()) / kSteps;
+        const double predicted =
+            1.0 / static_cast<double>(1ULL << (1 + bits - 16));
+        EXPECT_NEAR(freq, predicted, predicted * 0.35)
+            << "bits = " << bits;
+        EXPECT_LT(freq, prev_freq);
+        prev_freq = freq;
+    }
+}
+
+TEST(TransitionFilter, DetectionDelayGrowsWithBits)
+{
+    // On a splittable set the filter adds latency: from positive
+    // saturation, the number of full-magnitude negative updates to
+    // flip is ~2^(b-16) (16 with 20-bit filters, as in the paper).
+    for (unsigned bits : {18u, 20u}) {
+        TransitionFilter f(bits);
+        for (int i = 0; i < 100; ++i)
+            f.update(32767); // saturate positive
+        unsigned steps = 0;
+        while (f.side() > 0) {
+            f.update(-32768);
+            ++steps;
+        }
+        const unsigned expected = 1u << (bits - 16);
+        EXPECT_GE(steps, expected);
+        EXPECT_LE(steps, expected + 2);
+    }
+}
+
+} // namespace
+} // namespace xmig

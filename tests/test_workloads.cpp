@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the workload substrate: registry completeness, kernel
+ * determinism, budget adherence, address sanity, and the footprint /
+ * behavior classes each benchmark is tuned to (see DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cache/l1_filter.hpp"
+#include "workloads/code_walker.hpp"
+#include "workloads/registry.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(Registry, HasAllEighteenBenchmarks)
+{
+    EXPECT_EQ(allWorkloadNames().size(), 18u);
+    EXPECT_EQ(specWorkloadNames().size(), 13u);
+    EXPECT_EQ(oldenWorkloadNames().size(), 5u);
+}
+
+TEST(Registry, FactoriesProduceMatchingInfo)
+{
+    for (const auto &name : allWorkloadNames()) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->info().name, name);
+        EXPECT_FALSE(w->info().suite.empty());
+        EXPECT_FALSE(w->info().description.empty());
+    }
+}
+
+TEST(Registry, ShortNamesResolve)
+{
+    EXPECT_EQ(makeWorkload("mcf")->info().name, "181.mcf");
+    EXPECT_EQ(makeWorkload("art")->info().name, "179.art");
+    EXPECT_EQ(makeWorkload("bh")->info().name, "bh");
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_DEATH({ makeWorkload("nonexistent"); }, "unknown workload");
+}
+
+TEST(CodeWalker, AddressesStayInCodeImage)
+{
+    CodeWalkerConfig c;
+    c.codeBytes = 4096;
+    c.baseAddr = 0x400000;
+    CodeWalker walker(c);
+    RefRecorder rec;
+    for (int i = 0; i < 10000; ++i)
+        walker.step(rec);
+    for (const MemRef &r : rec.refs()) {
+        ASSERT_TRUE(r.isIfetch());
+        ASSERT_GE(r.addr, c.baseAddr);
+        // Function carving may round up by one function length.
+        ASSERT_LT(r.addr, c.baseAddr + c.codeBytes + 4096);
+    }
+}
+
+TEST(CodeWalker, Deterministic)
+{
+    CodeWalkerConfig c;
+    CodeWalker a(c), b(c);
+    RefRecorder ra, rb;
+    for (int i = 0; i < 2000; ++i) {
+        a.step(ra);
+        b.step(rb);
+    }
+    EXPECT_EQ(ra.refs(), rb.refs());
+}
+
+TEST(Workloads, DeterministicForSeed)
+{
+    for (const char *name : {"179.art", "health", "164.gzip"}) {
+        auto w1 = makeWorkload(name);
+        auto w2 = makeWorkload(name);
+        RefRecorder r1, r2;
+        w1->run(r1, 20'000, 7);
+        w2->run(r2, 20'000, 7);
+        EXPECT_EQ(r1.refs(), r2.refs()) << name;
+    }
+}
+
+TEST(Workloads, BudgetRespectedWithinSlack)
+{
+    for (const auto &name : allWorkloadNames()) {
+        auto w = makeWorkload(name);
+        RefCounter c;
+        const uint64_t budget = 300'000;
+        w->run(c, budget);
+        EXPECT_GE(c.instructions(), budget) << name;
+        // Kernels may overshoot by at most one inner phase.
+        EXPECT_LT(c.instructions(), budget * 3 / 2) << name;
+    }
+}
+
+TEST(Workloads, EmitBothInstructionAndDataRefs)
+{
+    for (const auto &name : allWorkloadNames()) {
+        auto w = makeWorkload(name);
+        RefCounter c;
+        // art's store-free recognition phase alone covers ~150k
+        // instructions; use a budget that reaches every phase.
+        w->run(c, 400'000);
+        EXPECT_GT(c.ifetches(), 0u) << name;
+        EXPECT_GT(c.loads(), 0u) << name;
+        EXPECT_GT(c.stores(), 0u) << name;
+        // Data refs should not outnumber instructions.
+        EXPECT_LE(c.loads() + c.stores(), c.instructions()) << name;
+    }
+}
+
+/** Measure the post-L1 data footprint of a kernel, in bytes. */
+uint64_t
+dataFootprint(const std::string &name, uint64_t instructions)
+{
+    struct FootprintSink : LineSink
+    {
+        std::unordered_set<uint64_t> lines;
+        void
+        onLine(const LineEvent &e) override
+        {
+            if (e.type != RefType::Ifetch)
+                lines.insert(e.line);
+        }
+    } sink;
+    L1FilterConfig c; // 16 KB fully-associative, unified
+    L1Filter filter(c, sink);
+    makeWorkload(name)->run(filter, instructions);
+    return sink.lines.size() * 64;
+}
+
+TEST(Workloads, FootprintClasses)
+{
+    const uint64_t kInstr = 3'000'000;
+    const uint64_t kL2 = 512 * 1024, k4L2 = 2 * 1024 * 1024;
+
+    // Splittable class: bigger than one L2, within (or near) 4xL2.
+    for (const char *name : {"179.art", "188.ammp", "em3d"}) {
+        const uint64_t fp = dataFootprint(name, kInstr);
+        EXPECT_GT(fp, kL2) << name;
+        EXPECT_LT(fp, k4L2) << name;
+    }
+    // Streaming class: far beyond the total on-chip capacity.
+    for (const char *name : {"171.swim", "172.mgrid", "mst"}) {
+        const uint64_t fp = dataFootprint(name, kInstr);
+        EXPECT_GT(fp, 2 * k4L2) << name;
+    }
+    // Fits-one-L2 class.
+    for (const char *name : {"300.twolf", "bh", "175.vpr"}) {
+        const uint64_t fp = dataFootprint(name, kInstr);
+        EXPECT_LT(fp, kL2) << name;
+    }
+}
+
+TEST(Workloads, InstructionHeavyClassMissesInIL1)
+{
+    // gcc/crafty/vortex carry large code images (Table 1).
+    for (const char *name : {"176.gcc", "186.crafty", "255.vortex"}) {
+        L1FilterConfig c;
+        NullLineSink null_sink;
+        L1Filter filter(c, null_sink);
+        makeWorkload(name)->run(filter, 1'000'000);
+        const double imiss_per_kinstr =
+            filter.il1Stats().misses / 1000.0;
+        EXPECT_GT(imiss_per_kinstr, 5.0) << name;
+    }
+    // Most other benchmarks barely miss in IL1.
+    for (const char *name : {"179.art", "171.swim", "bh"}) {
+        L1FilterConfig c;
+        NullLineSink null_sink;
+        L1Filter filter(c, null_sink);
+        makeWorkload(name)->run(filter, 1'000'000);
+        EXPECT_LT(filter.il1Stats().missRatio(), 0.01) << name;
+    }
+}
+
+} // namespace
+} // namespace xmig
