@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_linesize"
+  "../bench/bench_ablation_linesize.pdb"
+  "CMakeFiles/bench_ablation_linesize.dir/bench_ablation_linesize.cpp.o"
+  "CMakeFiles/bench_ablation_linesize.dir/bench_ablation_linesize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mechanism"
+  "../bench/bench_ablation_mechanism.pdb"
+  "CMakeFiles/bench_ablation_mechanism.dir/bench_ablation_mechanism.cpp.o"
+  "CMakeFiles/bench_ablation_mechanism.dir/bench_ablation_mechanism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rwindow"
+  "../bench/bench_ablation_rwindow.pdb"
+  "CMakeFiles/bench_ablation_rwindow.dir/bench_ablation_rwindow.cpp.o"
+  "CMakeFiles/bench_ablation_rwindow.dir/bench_ablation_rwindow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

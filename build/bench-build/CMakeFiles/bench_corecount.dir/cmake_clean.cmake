@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_corecount"
+  "../bench/bench_corecount.pdb"
+  "CMakeFiles/bench_corecount.dir/bench_corecount.cpp.o"
+  "CMakeFiles/bench_corecount.dir/bench_corecount.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corecount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

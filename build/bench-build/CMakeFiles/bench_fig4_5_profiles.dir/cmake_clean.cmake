@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_5_profiles"
+  "../bench/bench_fig4_5_profiles.pdb"
+  "CMakeFiles/bench_fig4_5_profiles.dir/bench_fig4_5_profiles.cpp.o"
+  "CMakeFiles/bench_fig4_5_profiles.dir/bench_fig4_5_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pmig_breakeven"
+  "../bench/bench_pmig_breakeven.pdb"
+  "CMakeFiles/bench_pmig_breakeven.dir/bench_pmig_breakeven.cpp.o"
+  "CMakeFiles/bench_pmig_breakeven.dir/bench_pmig_breakeven.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmig_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ptrfilter"
+  "../bench/bench_ptrfilter.pdb"
+  "CMakeFiles/bench_ptrfilter.dir/bench_ptrfilter.cpp.o"
+  "CMakeFiles/bench_ptrfilter.dir/bench_ptrfilter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptrfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_inventory"
+  "../bench/bench_table1_inventory.pdb"
+  "CMakeFiles/bench_table1_inventory.dir/bench_table1_inventory.cpp.o"
+  "CMakeFiles/bench_table1_inventory.dir/bench_table1_inventory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_quadcore.cpp" "bench-build/CMakeFiles/bench_table2_quadcore.dir/bench_table2_quadcore.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table2_quadcore.dir/bench_table2_quadcore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xmig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/xmig_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xmig_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xmig_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

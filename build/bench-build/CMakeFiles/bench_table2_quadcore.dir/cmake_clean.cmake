@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_quadcore"
+  "../bench/bench_table2_quadcore.pdb"
+  "CMakeFiles/bench_table2_quadcore.dir/bench_table2_quadcore.cpp.o"
+  "CMakeFiles/bench_table2_quadcore.dir/bench_table2_quadcore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quadcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_timing"
+  "../bench/bench_timing.pdb"
+  "CMakeFiles/bench_timing.dir/bench_timing.cpp.o"
+  "CMakeFiles/bench_timing.dir/bench_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

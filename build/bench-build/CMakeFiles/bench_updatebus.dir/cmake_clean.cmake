@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_updatebus"
+  "../bench/bench_updatebus.pdb"
+  "CMakeFiles/bench_updatebus.dir/bench_updatebus.cpp.o"
+  "CMakeFiles/bench_updatebus.dir/bench_updatebus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updatebus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

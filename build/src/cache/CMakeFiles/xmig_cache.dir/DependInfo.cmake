@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/xmig_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/xmig_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/l1_filter.cpp" "src/cache/CMakeFiles/xmig_cache.dir/l1_filter.cpp.o" "gcc" "src/cache/CMakeFiles/xmig_cache.dir/l1_filter.cpp.o.d"
+  "/root/repo/src/cache/lru_stack.cpp" "src/cache/CMakeFiles/xmig_cache.dir/lru_stack.cpp.o" "gcc" "src/cache/CMakeFiles/xmig_cache.dir/lru_stack.cpp.o.d"
+  "/root/repo/src/cache/prefetcher.cpp" "src/cache/CMakeFiles/xmig_cache.dir/prefetcher.cpp.o" "gcc" "src/cache/CMakeFiles/xmig_cache.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/cache/tags.cpp" "src/cache/CMakeFiles/xmig_cache.dir/tags.cpp.o" "gcc" "src/cache/CMakeFiles/xmig_cache.dir/tags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

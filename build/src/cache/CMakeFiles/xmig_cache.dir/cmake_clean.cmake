@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_cache.dir/cache.cpp.o"
+  "CMakeFiles/xmig_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/xmig_cache.dir/l1_filter.cpp.o"
+  "CMakeFiles/xmig_cache.dir/l1_filter.cpp.o.d"
+  "CMakeFiles/xmig_cache.dir/lru_stack.cpp.o"
+  "CMakeFiles/xmig_cache.dir/lru_stack.cpp.o.d"
+  "CMakeFiles/xmig_cache.dir/prefetcher.cpp.o"
+  "CMakeFiles/xmig_cache.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/xmig_cache.dir/tags.cpp.o"
+  "CMakeFiles/xmig_cache.dir/tags.cpp.o.d"
+  "libxmig_cache.a"
+  "libxmig_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

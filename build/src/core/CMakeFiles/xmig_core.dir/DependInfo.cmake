@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/direct_engine.cpp" "src/core/CMakeFiles/xmig_core.dir/direct_engine.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/direct_engine.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/xmig_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/kway_splitter.cpp" "src/core/CMakeFiles/xmig_core.dir/kway_splitter.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/kway_splitter.cpp.o.d"
+  "/root/repo/src/core/migration_controller.cpp" "src/core/CMakeFiles/xmig_core.dir/migration_controller.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/migration_controller.cpp.o.d"
+  "/root/repo/src/core/oe_store.cpp" "src/core/CMakeFiles/xmig_core.dir/oe_store.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/oe_store.cpp.o.d"
+  "/root/repo/src/core/splitter.cpp" "src/core/CMakeFiles/xmig_core.dir/splitter.cpp.o" "gcc" "src/core/CMakeFiles/xmig_core.dir/splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xmig_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_core.dir/direct_engine.cpp.o"
+  "CMakeFiles/xmig_core.dir/direct_engine.cpp.o.d"
+  "CMakeFiles/xmig_core.dir/engine.cpp.o"
+  "CMakeFiles/xmig_core.dir/engine.cpp.o.d"
+  "CMakeFiles/xmig_core.dir/kway_splitter.cpp.o"
+  "CMakeFiles/xmig_core.dir/kway_splitter.cpp.o.d"
+  "CMakeFiles/xmig_core.dir/migration_controller.cpp.o"
+  "CMakeFiles/xmig_core.dir/migration_controller.cpp.o.d"
+  "CMakeFiles/xmig_core.dir/oe_store.cpp.o"
+  "CMakeFiles/xmig_core.dir/oe_store.cpp.o.d"
+  "CMakeFiles/xmig_core.dir/splitter.cpp.o"
+  "CMakeFiles/xmig_core.dir/splitter.cpp.o.d"
+  "libxmig_core.a"
+  "libxmig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

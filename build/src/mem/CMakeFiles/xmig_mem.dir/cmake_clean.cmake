@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_mem.dir/trace_io.cpp.o"
+  "CMakeFiles/xmig_mem.dir/trace_io.cpp.o.d"
+  "libxmig_mem.a"
+  "libxmig_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

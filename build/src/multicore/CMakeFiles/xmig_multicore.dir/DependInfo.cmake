@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicore/machine.cpp" "src/multicore/CMakeFiles/xmig_multicore.dir/machine.cpp.o" "gcc" "src/multicore/CMakeFiles/xmig_multicore.dir/machine.cpp.o.d"
+  "/root/repo/src/multicore/timing.cpp" "src/multicore/CMakeFiles/xmig_multicore.dir/timing.cpp.o" "gcc" "src/multicore/CMakeFiles/xmig_multicore.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xmig_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_multicore.dir/machine.cpp.o"
+  "CMakeFiles/xmig_multicore.dir/machine.cpp.o.d"
+  "CMakeFiles/xmig_multicore.dir/timing.cpp.o"
+  "CMakeFiles/xmig_multicore.dir/timing.cpp.o.d"
+  "libxmig_multicore.a"
+  "libxmig_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/quadcore.cpp" "src/sim/CMakeFiles/xmig_sim.dir/quadcore.cpp.o" "gcc" "src/sim/CMakeFiles/xmig_sim.dir/quadcore.cpp.o.d"
+  "/root/repo/src/sim/snapshot.cpp" "src/sim/CMakeFiles/xmig_sim.dir/snapshot.cpp.o" "gcc" "src/sim/CMakeFiles/xmig_sim.dir/snapshot.cpp.o.d"
+  "/root/repo/src/sim/stack_profile.cpp" "src/sim/CMakeFiles/xmig_sim.dir/stack_profile.cpp.o" "gcc" "src/sim/CMakeFiles/xmig_sim.dir/stack_profile.cpp.o.d"
+  "/root/repo/src/sim/table1.cpp" "src/sim/CMakeFiles/xmig_sim.dir/table1.cpp.o" "gcc" "src/sim/CMakeFiles/xmig_sim.dir/table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xmig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xmig_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicore/CMakeFiles/xmig_multicore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xmig_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

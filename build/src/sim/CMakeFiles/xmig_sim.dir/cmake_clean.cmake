@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_sim.dir/quadcore.cpp.o"
+  "CMakeFiles/xmig_sim.dir/quadcore.cpp.o.d"
+  "CMakeFiles/xmig_sim.dir/snapshot.cpp.o"
+  "CMakeFiles/xmig_sim.dir/snapshot.cpp.o.d"
+  "CMakeFiles/xmig_sim.dir/stack_profile.cpp.o"
+  "CMakeFiles/xmig_sim.dir/stack_profile.cpp.o.d"
+  "CMakeFiles/xmig_sim.dir/table1.cpp.o"
+  "CMakeFiles/xmig_sim.dir/table1.cpp.o.d"
+  "libxmig_sim.a"
+  "libxmig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_util.dir/hashing.cpp.o"
+  "CMakeFiles/xmig_util.dir/hashing.cpp.o.d"
+  "CMakeFiles/xmig_util.dir/logging.cpp.o"
+  "CMakeFiles/xmig_util.dir/logging.cpp.o.d"
+  "CMakeFiles/xmig_util.dir/stats.cpp.o"
+  "CMakeFiles/xmig_util.dir/stats.cpp.o.d"
+  "libxmig_util.a"
+  "libxmig_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmig_util.a"
+)

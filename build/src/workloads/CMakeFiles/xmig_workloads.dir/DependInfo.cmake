@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/code_walker.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/code_walker.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/code_walker.cpp.o.d"
+  "/root/repo/src/workloads/olden.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/olden.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/olden.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/spec_fp.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_fp.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_fp.cpp.o.d"
+  "/root/repo/src/workloads/spec_int_a.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_int_a.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_int_a.cpp.o.d"
+  "/root/repo/src/workloads/spec_int_b.cpp" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_int_b.cpp.o" "gcc" "src/workloads/CMakeFiles/xmig_workloads.dir/spec_int_b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/xmig_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xmig_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

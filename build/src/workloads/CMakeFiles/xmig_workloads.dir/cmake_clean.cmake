@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmig_workloads.dir/code_walker.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/code_walker.cpp.o.d"
+  "CMakeFiles/xmig_workloads.dir/olden.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/olden.cpp.o.d"
+  "CMakeFiles/xmig_workloads.dir/registry.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/xmig_workloads.dir/spec_fp.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/spec_fp.cpp.o.d"
+  "CMakeFiles/xmig_workloads.dir/spec_int_a.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/spec_int_a.cpp.o.d"
+  "CMakeFiles/xmig_workloads.dir/spec_int_b.cpp.o"
+  "CMakeFiles/xmig_workloads.dir/spec_int_b.cpp.o.d"
+  "libxmig_workloads.a"
+  "libxmig_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmig_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

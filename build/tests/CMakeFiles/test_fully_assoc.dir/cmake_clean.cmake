@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fully_assoc.dir/test_fully_assoc.cpp.o"
+  "CMakeFiles/test_fully_assoc.dir/test_fully_assoc.cpp.o.d"
+  "test_fully_assoc"
+  "test_fully_assoc.pdb"
+  "test_fully_assoc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fully_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

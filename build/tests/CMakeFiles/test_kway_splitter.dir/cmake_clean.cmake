@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kway_splitter.dir/test_kway_splitter.cpp.o"
+  "CMakeFiles/test_kway_splitter.dir/test_kway_splitter.cpp.o.d"
+  "test_kway_splitter"
+  "test_kway_splitter.pdb"
+  "test_kway_splitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kway_splitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1_filter.dir/test_l1_filter.cpp.o"
+  "CMakeFiles/test_l1_filter.dir/test_l1_filter.cpp.o.d"
+  "test_l1_filter"
+  "test_l1_filter.pdb"
+  "test_l1_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

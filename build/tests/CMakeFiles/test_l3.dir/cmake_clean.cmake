@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l3.dir/test_l3.cpp.o"
+  "CMakeFiles/test_l3.dir/test_l3.cpp.o.d"
+  "test_l3"
+  "test_l3.pdb"
+  "test_l3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru_stack.dir/test_lru_stack.cpp.o"
+  "CMakeFiles/test_lru_stack.dir/test_lru_stack.cpp.o.d"
+  "test_lru_stack"
+  "test_lru_stack.pdb"
+  "test_lru_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration_controller.dir/test_migration_controller.cpp.o"
+  "CMakeFiles/test_migration_controller.dir/test_migration_controller.cpp.o.d"
+  "test_migration_controller"
+  "test_migration_controller.pdb"
+  "test_migration_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

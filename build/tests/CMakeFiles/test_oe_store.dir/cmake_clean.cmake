@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oe_store.dir/test_oe_store.cpp.o"
+  "CMakeFiles/test_oe_store.dir/test_oe_store.cpp.o.d"
+  "test_oe_store"
+  "test_oe_store.pdb"
+  "test_oe_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oe_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptrfilter.dir/test_ptrfilter.cpp.o"
+  "CMakeFiles/test_ptrfilter.dir/test_ptrfilter.cpp.o.d"
+  "test_ptrfilter"
+  "test_ptrfilter.pdb"
+  "test_ptrfilter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptrfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regcache.dir/test_regcache.cpp.o"
+  "CMakeFiles/test_regcache.dir/test_regcache.cpp.o.d"
+  "test_regcache"
+  "test_regcache.pdb"
+  "test_regcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwindow.dir/test_rwindow.cpp.o"
+  "CMakeFiles/test_rwindow.dir/test_rwindow.cpp.o.d"
+  "test_rwindow"
+  "test_rwindow.pdb"
+  "test_rwindow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_experiments.dir/test_sim_experiments.cpp.o"
+  "CMakeFiles/test_sim_experiments.dir/test_sim_experiments.cpp.o.d"
+  "test_sim_experiments"
+  "test_sim_experiments.pdb"
+  "test_sim_experiments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

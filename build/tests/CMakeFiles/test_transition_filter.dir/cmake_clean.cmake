@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transition_filter.dir/test_transition_filter.cpp.o"
+  "CMakeFiles/test_transition_filter.dir/test_transition_filter.cpp.o.d"
+  "test_transition_filter"
+  "test_transition_filter.pdb"
+  "test_transition_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transition_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
