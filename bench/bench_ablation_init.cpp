@@ -77,7 +77,8 @@ main()
             const double freq =
                 static_cast<double>(splitter.transitions() - t0) /
                 static_cast<double>(kMeasure);
-            const double bound = 1.0 / (2.0 * window);
+            const double bound =
+                1.0 / (2.0 * static_cast<double>(window));
             const double balance =
                 static_cast<double>(std::min(pos, kMeasure - pos)) /
                 static_cast<double>(

@@ -76,7 +76,8 @@ report(AsciiTable &table, const char *behavior, uint64_t n, uint64_t m,
     std::snprintf(wbuf, sizeof(wbuf), "%zu", window);
     std::snprintf(bal, sizeof(bal), "%.2f", balance);
     std::snprintf(freq, sizeof(freq), "%.5f", r.transitionFrequency);
-    std::snprintf(bound, sizeof(bound), "%.5f", 1.0 / (2.0 * window));
+    std::snprintf(bound, sizeof(bound), "%.5f",
+                  1.0 / (2.0 * static_cast<double>(window)));
     table.addRow({nbuf, wbuf, bal, freq, bound,
                   split ? "yes" : "no"});
 }

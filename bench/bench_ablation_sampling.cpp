@@ -34,8 +34,9 @@ main(int argc, char **argv)
         c.entries = uint64_t(entries_k) * 1024;
         AffinityCacheStore store(c);
         std::printf("  %2uk entries: %5.1f KB (%s of 2 MB L2 data)\n",
-                    entries_k, store.storageBits() / 8.0 / 1024.0,
-                    ratio2(store.storageBits() / 8.0 /
+                    entries_k,
+                    static_cast<double>(store.storageBits()) / 8.0 / 1024.0,
+                    ratio2(static_cast<double>(store.storageBits()) / 8.0 /
                            (2.0 * 1024 * 1024) * 100.0)
                         .append("%")
                         .c_str());

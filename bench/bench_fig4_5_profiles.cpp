@@ -52,7 +52,7 @@ main(int argc, char **argv)
 
         char refs_m[32], gap[32];
         std::snprintf(refs_m, sizeof(refs_m), "%.2f",
-                      r.stackAccesses / 1e6);
+                      static_cast<double>(r.stackAccesses) / 1e6);
         std::snprintf(gap, sizeof(gap), "%.3f", r.maxGap());
         summary.addRow({r.name, refs_m,
                         frequency(r.transitions, r.stackAccesses),

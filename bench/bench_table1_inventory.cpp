@@ -41,7 +41,8 @@ main(int argc, char **argv)
         }
         auto millions = [](uint64_t v) {
             char buf[32];
-            std::snprintf(buf, sizeof(buf), "%.2f", v / 1e6);
+            std::snprintf(buf, sizeof(buf), "%.2f",
+                          static_cast<double>(v) / 1e6);
             return std::string(buf);
         };
         table.addRow({row.name, millions(row.instructions),

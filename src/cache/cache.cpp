@@ -1,6 +1,6 @@
 #include "cache/cache.hpp"
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

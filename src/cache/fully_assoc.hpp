@@ -16,7 +16,7 @@
 #include <unordered_map>
 
 #include "cache/cache.hpp" // CacheStats
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

@@ -3,7 +3,7 @@
 #include <bit>
 
 #include "util/hashing.hpp"
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

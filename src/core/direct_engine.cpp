@@ -1,6 +1,6 @@
 #include "core/direct_engine.hpp"
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 #include "util/saturating.hpp"
 
 namespace xmig {

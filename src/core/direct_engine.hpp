@@ -48,6 +48,13 @@ class DirectAffinityEngine
     /** Current sum of affinities over the R-window. */
     int64_t windowAffinity() const { return windowAffinity_; }
 
+    /** Affinity of every element ever referenced (shadow sweeps). */
+    const std::unordered_map<uint64_t, int64_t> &
+    affinities() const
+    {
+        return affinity_;
+    }
+
     uint64_t references() const { return references_; }
 
   private:

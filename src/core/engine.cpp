@@ -2,7 +2,8 @@
 
 #include <bit>
 
-#include "util/logging.hpp"
+#include "core/shadow_audit.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -30,12 +31,41 @@ AffinityEngine::AffinityEngine(const EngineConfig &config, OeStore &store)
         fifo_ = std::make_unique<FifoWindow>(config_.windowSize);
     else
         lru_ = std::make_unique<DistinctLruWindow>(config_.windowSize);
+    if (config_.shadow == ShadowMode::Armed)
+        shadow_ = std::make_unique<ShadowAudit>(config_, config_.shadowTag);
 }
+
+AffinityEngine::~AffinityEngine() = default;
 
 int64_t
 AffinityEngine::saturate(int64_t v) const
 {
     return saturateToBits(v, config_.affinityBits);
+}
+
+void
+AffinityEngine::auditWindowSum(size_t members) const
+{
+    if constexpr (kAuditParanoid) {
+        if (config_.ar != ArKind::Exact)
+            return;
+        int64_t sum = 0;
+        size_t count = 0;
+        const auto acc = [&](const WindowSlot &slot) {
+            sum += slot.ie;
+            ++count;
+        };
+        if (config_.window == WindowKind::Fifo)
+            fifo_->forEach(acc);
+        else
+            lru_->forEach(acc);
+        XMIG_EXPECT(sum == sumIe_ && count == members,
+                    "A_R drift: cached sum(I_e) %lld over %zu members, "
+                    "recomputed %lld over %zu",
+                    (long long)sumIe_, members, (long long)sum, count);
+    } else {
+        (void)members;
+    }
 }
 
 RefOutcome
@@ -45,6 +75,10 @@ AffinityEngine::reference(uint64_t line)
     RefOutcome out;
     const int64_t delta = delta_.get();
     size_t members;
+    // Legitimate departures from the unsaturated single-engine
+    // reference model disarm the shadow *before* it compares this
+    // reference; everything else that mismatches is a real bug.
+    bool shadow_live = shadow_ && shadow_->armed();
 
     if (config_.window == WindowKind::DistinctLru && lru_->contains(line)) {
         // Already in R: recency update only; A_e = I_e + Delta.
@@ -54,12 +88,48 @@ AffinityEngine::reference(uint64_t line)
         members = lru_->size();
         // Neither sum(I_e) nor the Figure-2 register changes.
     } else {
+        if (shadow_live && config_.window == WindowKind::Fifo &&
+            fifo_->find(line) != nullptr) {
+            // The line re-enters R while still a member: the O_e
+            // fetched below predates its entry, so the postponed
+            // identities are stale by construction (section 3.2
+            // tolerates this; the spec model does not reproduce it).
+            shadow_->disarm("duplicate entry in FIFO R-window");
+            shadow_live = false;
+        }
+
         // e enters R from outside: fetch O_e (miss installs Delta,
         // forcing A_e = 0), derive A_e and I_e with the pre-update
         // Delta, and handle the displaced line f symmetrically.
+        const uint64_t misses_before =
+            shadow_live ? store_.stats().misses : 0;
         const int64_t oe = store_.lookup(line, delta);
+        if (shadow_live) {
+            const bool missed = store_.stats().misses != misses_before;
+            if (missed && oe != delta) {
+                // Miss-install clamped O_e = Delta to the affinity
+                // width, or a non-zero initial-affinity policy is
+                // active; either way first-touch A_e != 0.
+                shadow_->disarm("miss-installed O_e differs from Delta");
+                shadow_live = false;
+            } else if (missed && shadow_->knowsLine(line)) {
+                shadow_->disarm("O_e entry lost (finite affinity cache "
+                                "eviction)");
+                shadow_live = false;
+            } else if (!missed && !shadow_->knowsLine(line)) {
+                shadow_->disarm("foreign O_e entry (shared store written "
+                                "by a sibling mechanism)");
+                shadow_live = false;
+            }
+        }
         out.ae = oe - delta;
-        const int64_t ie = saturate(oe - 2 * delta);
+
+        const int64_t ie_raw = oe - 2 * delta;
+        const int64_t ie = saturate(ie_raw);
+        if (shadow_live && ie != ie_raw) {
+            shadow_->disarm("I_e saturated");
+            shadow_live = false;
+        }
 
         WindowSlot evicted;
         bool have_evicted;
@@ -70,10 +140,18 @@ AffinityEngine::reference(uint64_t line)
             have_evicted = lru_->insert(line, ie, &evicted);
             members = lru_->size();
         }
+        XMIG_AUDIT(members >= 1 && members <= config_.windowSize,
+                   "R-window occupancy %zu out of [1, %zu]", members,
+                   config_.windowSize);
 
         int64_t of = 0;
         if (have_evicted) {
-            of = saturate(evicted.ie + 2 * delta);
+            const int64_t of_raw = evicted.ie + 2 * delta;
+            of = saturate(of_raw);
+            if (shadow_live && of != of_raw) {
+                shadow_->disarm("O_f saturated on write-back");
+                shadow_live = false;
+            }
             store_.store(evicted.line, of);
         }
 
@@ -89,20 +167,39 @@ AffinityEngine::reference(uint64_t line)
 
     if (config_.ar == ArKind::Exact) {
         // A_R = sum over members of A_e = sum(I_e) + |R| * Delta.
-        windowAffinity_.set(sumIe_ +
-                            static_cast<int64_t>(members) * delta);
+        const bool clamped = windowAffinity_.set(
+            sumIe_ + static_cast<int64_t>(members) * delta);
+        if (shadow_live && clamped) {
+            shadow_->disarm("A_R saturated");
+            shadow_live = false;
+        }
     }
 
     // Delta accumulates the sign of the (updated) window affinity;
     // conceptually every member gains sign(A_R) and every outsider
     // loses it, which the I_e / O_e invariants realize lazily.
-    delta_.add(affinitySign(windowAffinity_.get()));
+    if (delta_.add(affinitySign(windowAffinity_.get())) && shadow_live) {
+        shadow_->disarm("Delta saturated");
+        shadow_live = false;
+    }
+    XMIG_AUDIT(delta_.get() - delta >= -1 && delta_.get() - delta <= 1,
+               "Delta stepped by %lld, not +/-1",
+               (long long)(delta_.get() - delta));
 
     if (config_.ar == ArKind::Exact) {
         // Delta moved, so recompute the exact A_R for observers.
-        windowAffinity_.set(sumIe_ +
-                            static_cast<int64_t>(members) * delta_.get());
+        const bool clamped = windowAffinity_.set(
+            sumIe_ + static_cast<int64_t>(members) * delta_.get());
+        if (shadow_live && clamped) {
+            shadow_->disarm("A_R saturated");
+            shadow_live = false;
+        }
     }
+
+    auditWindowSum(members);
+
+    if (shadow_)
+        shadow_->onReference(line, *this, out.ae);
     return out;
 }
 

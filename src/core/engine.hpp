@@ -27,6 +27,15 @@
 
 namespace xmig {
 
+class ShadowAudit;
+
+/** Whether an engine runs the shadow-model oracle (shadow_audit.hpp). */
+enum class ShadowMode : uint8_t
+{
+    Off,   ///< no shadow model (default; zero overhead)
+    Armed, ///< lockstep DirectAffinityEngine, panic on divergence
+};
+
 /**
  * How the window affinity A_R is maintained.
  *
@@ -51,6 +60,19 @@ struct EngineConfig
     size_t windowSize = 128;    ///< |R|
     WindowKind window = WindowKind::Fifo;
     ArKind ar = ArKind::Exact;
+
+    /** Run the shadow-model oracle in lockstep (shadow_audit.hpp). */
+    ShadowMode shadow = ShadowMode::Off;
+
+    /**
+     * With the shadow armed, compare the affinity of *every* tracked
+     * element each N references (0 disables the deep sweeps and
+     * keeps only the per-reference A_e / A_R comparison).
+     */
+    uint64_t shadowDeepCheckEvery = 4096;
+
+    /** Diagnostic tag naming this engine in shadow-audit messages. */
+    const char *shadowTag = "engine";
 };
 
 /** Result of processing one reference. */
@@ -72,6 +94,7 @@ class AffinityEngine
      *        the engine
      */
     AffinityEngine(const EngineConfig &config, OeStore &store);
+    ~AffinityEngine(); // = default; here for the ShadowAudit pimpl
 
     /** Process a reference to `line`; returns its affinity A_e(t). */
     RefOutcome reference(uint64_t line);
@@ -95,8 +118,14 @@ class AffinityEngine
     const EngineConfig &config() const { return config_; }
     const OeStore &store() const { return store_; }
 
+    /** The shadow-model oracle (nullptr when ShadowMode::Off). */
+    const ShadowAudit *shadow() const { return shadow_.get(); }
+
   private:
     int64_t saturate(int64_t v) const;
+
+    /** O(|R|) paranoid check that the cached sum(I_e) has not drifted. */
+    void auditWindowSum(size_t members) const;
 
     EngineConfig config_;
     OeStore &store_;
@@ -105,6 +134,7 @@ class AffinityEngine
     int64_t sumIe_ = 0;     ///< ArKind::Exact: sum of window I_e
     std::unique_ptr<FifoWindow> fifo_;
     std::unique_ptr<DistinctLruWindow> lru_;
+    std::unique_ptr<ShadowAudit> shadow_;
     uint64_t references_ = 0;
 };
 

@@ -1,7 +1,7 @@
 #include "core/kway_splitter.hpp"
 
 #include "util/hashing.hpp"
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -23,6 +23,11 @@ KWaySplitter::KWaySplitter(const Config &config, OeStore &store)
             std::max<size_t>(4, config.rootWindow >> level);
         ec.window = config.window;
         ec.ar = config.ar;
+        if (i == 0) {
+            ec.shadow = config.shadow;
+            ec.shadowDeepCheckEvery = config.shadowDeepCheckEvery;
+            ec.shadowTag = "root";
+        }
         Node node;
         node.engine = std::make_unique<AffinityEngine>(ec, store);
         node.filter =
@@ -37,6 +42,14 @@ KWaySplitter::nodeOnPath(unsigned level) const
     size_t idx = 0;
     for (unsigned l = 0; l < level; ++l)
         idx = 2 * idx + (nodes_[idx].filter->side() > 0 ? 1 : 2);
+    // Heap-shape balance bound: the node selected for `level` must
+    // lie inside that level's index band [2^level - 1, 2^(level+1) - 1)
+    // and inside the allocated complete tree.
+    XMIG_AUDIT(idx < nodes_.size() &&
+                   idx + 1 >= (size_t(1) << level) &&
+                   idx + 1 < (size_t(1) << (level + 1)),
+               "k-way path node %zu outside level-%u band (of %zu nodes)",
+               idx, level, nodes_.size());
     return idx;
 }
 
@@ -75,6 +88,8 @@ KWaySplitter::onReference(uint64_t line, bool update_filter)
     }
 
     out.subset = subset();
+    XMIG_AUDIT(out.subset < numSubsets(),
+               "k-way subset %u out of %u", out.subset, numSubsets());
     out.transition = out.subset != before;
     if (out.transition)
         ++transitions_;

@@ -47,6 +47,14 @@ class KWaySplitter
         ArKind ar = ArKind::Exact;
         unsigned filterBits = 20;
         uint32_t samplingCutoff = 31;
+
+        /**
+         * Arm the shadow-model oracle on the root mechanism. Only
+         * the root is shadowable: its lines always drive it, while
+         * deeper nodes swap lines as the sign path above them moves.
+         */
+        ShadowMode shadow = ShadowMode::Off;
+        uint64_t shadowDeepCheckEvery = 4096;
     };
 
     KWaySplitter(const Config &config, OeStore &store);
@@ -62,6 +70,9 @@ class KWaySplitter
 
     /** Mechanisms allocated (2^depth - 1 internal tree nodes). */
     size_t numMechanisms() const { return nodes_.size(); }
+
+    /** Root mechanism (the only shadow-auditable one; see Config). */
+    const AffinityEngine &rootEngine() const { return *nodes_[0].engine; }
 
   private:
     /** One tree node: a 2-way mechanism. */

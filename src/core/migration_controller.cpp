@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -23,12 +23,17 @@ MigrationController::MigrationController(
         store_ = std::make_unique<UnboundedOeStore>(config_.affinityBits);
     }
 
+    const ShadowMode shadow =
+        config_.shadowAudit ? ShadowMode::Armed : ShadowMode::Off;
     if (config_.numCores == 2) {
         TwoWaySplitter::Config sc;
         sc.engine.affinityBits = config_.affinityBits;
         sc.engine.windowSize = config_.windowX;
         sc.engine.window = config_.window;
         sc.engine.ar = config_.ar;
+        sc.engine.shadow = shadow;
+        sc.engine.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
+        sc.engine.shadowTag = "X";
         sc.filterBits = config_.filterBits;
         sc.samplingCutoff = config_.samplingCutoff;
         two_ = std::make_unique<TwoWaySplitter>(sc, *store_);
@@ -41,6 +46,8 @@ MigrationController::MigrationController(
         sc.ar = config_.ar;
         sc.filterBits = config_.filterBits;
         sc.samplingCutoff = config_.samplingCutoff;
+        sc.shadow = shadow;
+        sc.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
         four_ = std::make_unique<FourWaySplitter>(sc, *store_);
     } else {
         KWaySplitter::Config sc;
@@ -52,6 +59,8 @@ MigrationController::MigrationController(
         sc.ar = config_.ar;
         sc.filterBits = config_.filterBits;
         sc.samplingCutoff = config_.samplingCutoff;
+        sc.shadow = shadow;
+        sc.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
         kway_ = std::make_unique<KWaySplitter>(sc, *store_);
     }
 }
@@ -85,10 +94,27 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
     if (decision.transition)
         ++stats_.transitions;
 
+    // Controller state-transition invariants: the splitter may only
+    // name a real core, the subset can only move when the filters
+    // were allowed to move, and a migration is exactly a subset
+    // change relative to the current placement.
+    XMIG_AUDIT(decision.subset < config_.numCores,
+               "splitter chose subset %u of %u cores", decision.subset,
+               config_.numCores);
+    XMIG_AUDIT(update_filter || !decision.transition,
+               "transition while the filter was frozen (L2/pointer "
+               "filtering violated)");
     if (decision.subset != activeCore_) {
         ++stats_.migrations;
         activeCore_ = decision.subset;
     }
+    XMIG_AUDIT(stats_.migrations <= stats_.transitions &&
+                   stats_.transitions == splitterTransitions(),
+               "controller statistics desync: %llu migrations, %llu "
+               "transitions, splitter says %llu",
+               (unsigned long long)stats_.migrations,
+               (unsigned long long)stats_.transitions,
+               (unsigned long long)splitterTransitions());
     return activeCore_;
 }
 
@@ -101,6 +127,16 @@ MigrationController::affinityOf(uint64_t line) const
         return four_->engineX().affinityOf(line);
     // The k-way tree shares one store; peek it directly.
     return store_->peek(line);
+}
+
+const ShadowAudit *
+MigrationController::shadowAudit() const
+{
+    if (two_)
+        return two_->engine().shadow();
+    if (four_)
+        return four_->engineX().shadow();
+    return kway_->rootEngine().shadow();
 }
 
 uint64_t

@@ -58,6 +58,17 @@ struct MigrationControllerConfig
     /** Use a finite affinity cache instead of unlimited storage. */
     bool boundedStore = false;
     AffinityCacheConfig affinityCache;
+
+    /**
+     * Arm the shadow-model oracle (shadow_audit.hpp) on the
+     * whole-working-set mechanism: the O(|S|) DirectAffinityEngine
+     * runs in lockstep and panics on the first divergence. With a
+     * finite affinity cache or narrow affinity widths the oracle
+     * disarms itself (warn once) at the first eviction or
+     * saturation rather than false-alarming.
+     */
+    bool shadowAudit = false;
+    uint64_t shadowDeepCheckEvery = 4096;
 };
 
 /** Aggregate controller statistics. */
@@ -105,6 +116,12 @@ class MigrationController
 
     /** Transition counts of the underlying splitter. */
     uint64_t splitterTransitions() const;
+
+    /**
+     * Shadow oracle of the audited mechanism (X for 2/4 cores, the
+     * tree root otherwise); nullptr unless shadowAudit was set.
+     */
+    const ShadowAudit *shadowAudit() const;
 
   private:
     MigrationControllerConfig config_;

@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -37,18 +37,28 @@ int64_t
 AffinityCacheStore::lookup(uint64_t line, int64_t delta)
 {
     ++stats_.lookups;
+    auditConsistency();
     CacheEntry *entry = tags_->find(line);
     if (entry) {
+        auto it = payload_.find(line);
+        XMIG_AUDIT(it != payload_.end(),
+                   "affinity cache hit on line %llu with no payload",
+                   (unsigned long long)line);
         tags_->touch(*entry);
-        return payload_[line];
+        return it->second;
     }
     // Miss: allocate and force A_e = 0 by setting O_e = Delta.
     ++stats_.misses;
     CacheEntry victim;
     bool victim_valid = false;
     tags_->allocate(line, &victim, &victim_valid);
-    if (victim_valid)
-        payload_.erase(victim.line);
+    if (victim_valid) {
+        ++stats_.evictions;
+        const size_t erased = payload_.erase(victim.line);
+        XMIG_AUDIT(erased == 1,
+                   "evicted line %llu had no payload to drop",
+                   (unsigned long long)victim.line);
+    }
     const int64_t oe = saturateToBits(delta, config_.affinityBits);
     payload_[line] = oe;
     return oe;
@@ -70,9 +80,43 @@ AffinityCacheStore::store(uint64_t line, int64_t oe)
     CacheEntry victim;
     bool victim_valid = false;
     tags_->allocate(line, &victim, &victim_valid);
-    if (victim_valid)
-        payload_.erase(victim.line);
+    if (victim_valid) {
+        ++stats_.evictions;
+        const size_t erased = payload_.erase(victim.line);
+        XMIG_AUDIT(erased == 1,
+                   "evicted line %llu had no payload to drop",
+                   (unsigned long long)victim.line);
+    }
     payload_[line] = sat;
+}
+
+void
+AffinityCacheStore::auditConsistency()
+{
+    // Cheap bound every call: the payload map mirrors the valid tags,
+    // so it can never outgrow the configured entry count, and every
+    // miss either filled a free slot or displaced a victim.
+    XMIG_AUDIT(payload_.size() <= config_.entries &&
+                   stats_.evictions <= stats_.misses + stats_.stores,
+               "affinity cache accounting desync: %zu payloads / %llu "
+               "entries, %llu evictions",
+               payload_.size(), (unsigned long long)config_.entries,
+               (unsigned long long)stats_.evictions);
+    if constexpr (kAuditParanoid) {
+        // Full tag/payload reconciliation is O(entries); amortize it
+        // over the lookup stream rather than paying it per call.
+        if (++auditTick_ % 4096 != 0)
+            return;
+        XMIG_EXPECT(tags_->occupancy() == payload_.size(),
+                    "tag/payload desync: %llu valid tags, %zu payloads",
+                    (unsigned long long)tags_->occupancy(),
+                    payload_.size());
+        tags_->forEachValid([&](const CacheEntry &e) {
+            XMIG_EXPECT(payload_.count(e.line) == 1,
+                        "valid tag for line %llu has no payload",
+                        (unsigned long long)e.line);
+        });
+    }
 }
 
 std::optional<int64_t>

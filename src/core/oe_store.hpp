@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "cache/tags.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 #include "util/saturating.hpp"
 
@@ -27,6 +28,10 @@ struct OeStoreStats
     uint64_t lookups = 0;
     uint64_t misses = 0;
     uint64_t stores = 0;
+    uint64_t evictions = 0; ///< entries displaced (finite cache only)
+
+    /** Lookups served from an existing entry. */
+    uint64_t hits() const { return lookups - misses; }
 };
 
 /**
@@ -94,6 +99,16 @@ class UnboundedOeStore : public OeStore
     lookup(uint64_t line, int64_t delta) override
     {
         ++stats_.lookups;
+        // Entries appear on lookup misses and direct store() writes,
+        // never otherwise; the unbounded store never evicts.
+        XMIG_AUDIT(stats_.misses <= stats_.lookups &&
+                       map_.size() <= stats_.misses + stats_.stores &&
+                       stats_.evictions == 0,
+                   "O_e store accounting desync: %llu misses, %llu "
+                   "lookups, %llu stores, %zu entries",
+                   (unsigned long long)stats_.misses,
+                   (unsigned long long)stats_.lookups,
+                   (unsigned long long)stats_.stores, map_.size());
         auto it = map_.find(line);
         if (it != map_.end())
             return it->second;
@@ -191,10 +206,14 @@ class AffinityCacheStore : public OeStore
     uint64_t storageBits(unsigned tag_bits = 20) const;
 
   private:
+    /** Cheap per-call accounting audit + periodic paranoid sweep. */
+    void auditConsistency();
+
     AffinityCacheConfig config_;
     std::unique_ptr<TagStore> tags_;
     std::unordered_map<uint64_t, int64_t> payload_; // line -> O_e
     OeStoreStats stats_;
+    uint64_t auditTick_ = 0; ///< paranoid reconciliation cadence
 };
 
 } // namespace xmig

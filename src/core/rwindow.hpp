@@ -18,7 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -55,9 +55,19 @@ class FifoWindow
     bool
     push(uint64_t line, int64_t ie, WindowSlot *evicted)
     {
+        XMIG_AUDIT(size_ <= slots_.size() && head_ < slots_.size(),
+                   "FIFO occupancy desync: size %zu / %zu, head %zu",
+                   size_, slots_.size(), head_);
         bool full = size_ == slots_.size();
         if (full)
             *evicted = slots_[head_];
+        // FIFO order invariant: when full, the slot at head_ is the
+        // oldest entry, so overwriting it displaces exactly the
+        // |R|-references-old line the postponed-update identities
+        // assume (O_f = I_f + 2 Delta for the *oldest* member).
+        XMIG_AUDIT(!full || (head_ + slots_.size() - size_) %
+                                slots_.size() == head_,
+                   "FIFO eviction is not the oldest slot");
         slots_[head_] = {line, ie};
         head_ = (head_ + 1) % slots_.size();
         if (!full)
@@ -145,6 +155,10 @@ class DistinctLruWindow
     insert(uint64_t line, int64_t ie, WindowSlot *evicted)
     {
         XMIG_ASSERT(!contains(line), "line already in R-window");
+        XMIG_AUDIT(order_.size() == map_.size() &&
+                       order_.size() <= capacity_,
+                   "LRU window desync: list %zu, map %zu, capacity %zu",
+                   order_.size(), map_.size(), capacity_);
         bool evict = order_.size() == capacity_;
         if (evict) {
             *evicted = order_.back();
@@ -153,6 +167,16 @@ class DistinctLruWindow
         }
         order_.push_front({line, ie});
         map_[line] = order_.begin();
+        if constexpr (kAuditParanoid) {
+            // Full recency-structure reconciliation: every map entry
+            // must point at a live list node holding its own key.
+            for (const auto &[key, it] : map_) {
+                XMIG_EXPECT(it->line == key,
+                            "LRU map entry %llu points at slot of %llu",
+                            (unsigned long long)key,
+                            (unsigned long long)it->line);
+            }
+        }
         return evict;
     }
 

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shadow-model differential checking for the postponed-update engine.
+ *
+ * The postponed-update identities (A_e = O_e - Delta, I_e = O_e -
+ * 2 Delta, A_R += O_e - O_f) are only useful if they stay *bit-exact*
+ * with Definition 1; a silent corruption — an overflowed SatInt, a
+ * stale O_e — skews every downstream Table-2/Figure-3 number without
+ * failing a single test. ShadowAudit promotes the one-shot
+ * test_engine_equivalence property into an always-available runtime
+ * oracle: an opt-in mode on AffinityEngine that runs the O(|S|)
+ * DirectAffinityEngine in lockstep on every reference the engine
+ * sees and panics on the first divergence in A_e or A_R, plus a
+ * periodic deep sweep comparing the affinity of *every* element the
+ * shadow model knows.
+ *
+ * The reference model is unsaturated and single-engine, so the
+ * oracle is sound only while the audited engine stays inside the
+ * regime where the paper's identities are exact. ShadowAudit
+ * therefore *disarms* (one warning, checking stops, simulation
+ * continues) on the events that legitimately break lockstep:
+ *
+ *  - any SatInt clamp (Delta, A_R, I_e, O_f or a miss-installed O_e
+ *    hit the width bound) — a hardware concession the spec engine
+ *    does not model;
+ *  - a duplicate entering a FIFO window — the postponed engine
+ *    re-fetches a stale O_e for a line that never left R (the paper
+ *    accepts this; section 3.2 calls distinct-LRU "not essential");
+ *  - O_e entries lost or foreign: a finite affinity cache evicted a
+ *    tracked line, or a sibling mechanism sharing the store wrote an
+ *    entry this engine never saw.
+ *
+ * Anything else — any mismatch while armed — is a real bug and
+ * panics. Subset assignment needs no separate check: transition
+ * filters are a pure function of the verified A_e stream.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/direct_engine.hpp"
+
+namespace xmig {
+
+class AffinityEngine;
+struct EngineConfig;
+
+/**
+ * Lockstep differential checker for one AffinityEngine.
+ */
+class ShadowAudit
+{
+  public:
+    /**
+     * @param config the audited engine's configuration (window kind
+     *        and size are mirrored; ArKind::Figure2 disarms at birth
+     *        since the literal register recurrence diverges from
+     *        Definition 1 by design)
+     * @param tag short name used in diagnostics ("X", "root", ...)
+     */
+    ShadowAudit(const EngineConfig &config, std::string tag);
+
+    /**
+     * Feed the reference the engine just processed and compare.
+     * `ae` is the engine's returned A_e(t). No-op when disarmed.
+     */
+    void onReference(uint64_t line, const AffinityEngine &engine,
+                     int64_t ae);
+
+    /** Stop checking (legitimate model divergence); warns once. */
+    void disarm(const char *reason);
+
+    /** True while the oracle is still comparing. */
+    bool armed() const { return armed_; }
+
+    /** True if the shadow model has seen `line`. */
+    bool
+    knowsLine(uint64_t line) const
+    {
+        return direct_.affinityOf(line).has_value();
+    }
+
+    /** References compared so far (while armed). */
+    uint64_t comparisons() const { return comparisons_; }
+
+    /** Full-element sweeps performed. */
+    uint64_t deepChecks() const { return deepChecks_; }
+
+    const DirectAffinityEngine &direct() const { return direct_; }
+
+  private:
+    /** Compare the affinity of every element the shadow knows. */
+    void deepCheck(const AffinityEngine &engine);
+
+    DirectAffinityEngine direct_;
+    std::string tag_;
+    bool exactAr_;          ///< compare A_R (ArKind::Exact only)
+    uint64_t deepEvery_;    ///< deep sweep cadence (0 = never)
+    bool armed_ = true;
+    uint64_t comparisons_ = 0;
+    uint64_t deepChecks_ = 0;
+    uint64_t sinceDeep_ = 0;
+};
+
+} // namespace xmig

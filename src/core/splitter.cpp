@@ -1,5 +1,7 @@
 #include "core/splitter.hpp"
 
+#include "util/contracts.hpp"
+
 namespace xmig {
 
 TwoWaySplitter::TwoWaySplitter(const Config &config, OeStore &store)
@@ -30,13 +32,17 @@ TwoWaySplitter::onReference(uint64_t line, bool update_filter)
 namespace {
 
 EngineConfig
-engineConfigOf(const FourWaySplitter::Config &config, size_t window)
+engineConfigOf(const FourWaySplitter::Config &config, size_t window,
+               ShadowMode shadow, const char *tag)
 {
     EngineConfig ec;
     ec.affinityBits = config.affinityBits;
     ec.windowSize = window;
     ec.window = config.window;
     ec.ar = config.ar;
+    ec.shadow = shadow;
+    ec.shadowDeepCheckEvery = config.shadowDeepCheckEvery;
+    ec.shadowTag = tag;
     return ec;
 }
 
@@ -44,9 +50,14 @@ engineConfigOf(const FourWaySplitter::Config &config, size_t window)
 
 FourWaySplitter::FourWaySplitter(const Config &config, OeStore &store)
     : config_(config),
-      engineX_(engineConfigOf(config, config.windowX), store),
-      engineYPos_(engineConfigOf(config, config.windowY), store),
-      engineYNeg_(engineConfigOf(config, config.windowY), store),
+      engineX_(engineConfigOf(config, config.windowX, config.shadow, "X"),
+               store),
+      engineYPos_(engineConfigOf(config, config.windowY, ShadowMode::Off,
+                                 "Y[+1]"),
+                  store),
+      engineYNeg_(engineConfigOf(config, config.windowY, ShadowMode::Off,
+                                 "Y[-1]"),
+                  store),
       filterX_(config.filterBits),
       filterYPos_(config.filterBits),
       filterYNeg_(config.filterBits)
@@ -104,6 +115,7 @@ FourWaySplitter::onReference(uint64_t line, bool update_filter)
     }
 
     out.subset = subset();
+    XMIG_AUDIT(out.subset < 4, "4-way subset index %u", out.subset);
     out.transition = out.subset != before;
     if (out.transition)
         ++transitions_;

@@ -86,6 +86,16 @@ class FourWaySplitter
         ArKind ar = ArKind::Exact;
         unsigned filterBits = 20;
         uint32_t samplingCutoff = 31;
+
+        /**
+         * Arm the shadow-model oracle on mechanism X. Only X is
+         * shadowable: its lines (odd hash residues) never visit a
+         * sibling, while Y lines migrate between Y[+1] and Y[-1] as
+         * sign(F_X) changes, leaving O_e values no single-engine
+         * reference model can predict.
+         */
+        ShadowMode shadow = ShadowMode::Off;
+        uint64_t shadowDeepCheckEvery = 4096;
     };
 
     FourWaySplitter(const Config &config, OeStore &store);

@@ -8,7 +8,7 @@
 #include <bit>
 #include <cstdint>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

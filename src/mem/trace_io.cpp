@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

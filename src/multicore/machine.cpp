@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -87,6 +87,9 @@ MigrationMachine::onLine(const LineEvent &event)
         }
     }
 
+    XMIG_AUDIT(activeCore_ < config_.numCores,
+               "active core %u of %u", activeCore_, config_.numCores);
+
     // The request is serviced by the L2 of the core that is active
     // after any migration: that is the point of distributing the
     // working-set.
@@ -94,6 +97,17 @@ MigrationMachine::onLine(const LineEvent &event)
 
     if (is_store)
         broadcastStore(event.line);
+
+    if constexpr (kAuditParanoid) {
+        // Whole-machine coherence sweep (section 2.1's single-
+        // modified-copy rule) is O(total L2 entries); amortize it
+        // over the post-L1 event stream.
+        if (++auditTick_ % 8192 == 0) {
+            XMIG_EXPECT(countMultiModifiedLines() == 0,
+                        "migration-mode coherence violated: a line "
+                        "has multiple modified L2 copies");
+        }
+    }
 }
 
 void

@@ -184,6 +184,7 @@ class MigrationMachine : public RefSink, private LineSink
     std::unique_ptr<Prefetcher> prefetcher_;
     std::vector<uint64_t> prefetchCandidates_; ///< scratch buffer
     unsigned activeCore_ = 0;
+    uint64_t auditTick_ = 0; ///< paranoid coherence-sweep cadence
     MachineStats stats_;
 };
 

@@ -22,7 +22,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

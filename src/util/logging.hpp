@@ -46,13 +46,7 @@ std::string formatString(const char *fmt, ...)
 #define XMIG_INFORM(...) \
     ::xmig::detail::informImpl(::xmig::detail::formatString(__VA_ARGS__))
 
-/** panic() unless the condition holds. */
-#define XMIG_ASSERT(cond, ...) \
-    do { \
-        if (!(cond)) { \
-            XMIG_PANIC("assertion failed: %s -- %s", #cond, \
-                       ::xmig::detail::formatString(__VA_ARGS__).c_str()); \
-        } \
-    } while (0)
+// XMIG_ASSERT and the graded audit macros (XMIG_AUDIT, XMIG_EXPECT)
+// live in util/contracts.hpp, the xmig-audit contract layer.
 
 } // namespace xmig

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <limits>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 
@@ -67,16 +67,28 @@ class SatInt
     /** True if the counter sits at either saturation bound. */
     bool saturated() const { return value_ == min_ || value_ == max_; }
 
-    /** Replace the value, clamping into range. */
-    void set(int64_t v) { value_ = clamp(v); }
+    /**
+     * Replace the value, clamping into range. Returns true if the
+     * value was actually clamped (v was out of range) — the signal
+     * the shadow-model checker uses to disarm, since the unsaturated
+     * reference model diverges from here on.
+     */
+    bool
+    set(int64_t v)
+    {
+        value_ = clamp(v);
+        return value_ != v;
+    }
 
-    /** Saturating add. */
-    void
+    /** Saturating add. Returns true if the sum was clamped. */
+    bool
     add(int64_t delta)
     {
         // Widths are <= 62 bits and |delta| in practice fits 62 bits as
         // well, so plain 64-bit addition cannot wrap before clamping.
-        value_ = clamp(value_ + delta);
+        const int64_t raw = value_ + delta;
+        value_ = clamp(raw);
+        return value_ != raw;
     }
 
     SatInt &

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

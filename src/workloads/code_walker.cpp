@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 
 namespace xmig {
 

@@ -349,7 +349,8 @@ class HealthKernel : public Workload
                 }
                 // Leaf villages admit new patients (pool reuse).
                 if (v >= kVillages / 4 && ctx.rng().chance(0.5)) {
-                    list.push_back(nextFree_ % kPatients);
+                    list.push_back(
+                        static_cast<unsigned>(nextFree_ % kPatients));
                     nextFree_++;
                     ctx.store(patients_.at(list.back()));
                 }

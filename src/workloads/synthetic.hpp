@@ -14,7 +14,7 @@
 
 #include <cstdint>
 
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace xmig {

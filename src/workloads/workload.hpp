@@ -22,7 +22,7 @@
 
 #include "mem/trace.hpp"
 #include "workloads/code_walker.hpp"
-#include "util/logging.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace xmig {

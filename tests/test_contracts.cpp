@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Contract-layer macros (util/contracts.hpp).
+ *
+ * These tests adapt to the compile-time audit level: XMIG_AUDIT must
+ * panic at level >= cheap and evaluate nothing below it, XMIG_EXPECT
+ * the same at level >= paranoid, and XMIG_ASSERT must fire at every
+ * level. The full suite is expected to be run at each level (the CI
+ * matrix builds off / cheap / paranoid).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace xmig {
+namespace {
+
+TEST(Contracts, LevelConstantsAreConsistent)
+{
+    EXPECT_EQ(kAuditLevel, XMIG_AUDIT_LEVEL);
+    EXPECT_EQ(kAuditCheap, kAuditLevel >= 1);
+    EXPECT_EQ(kAuditParanoid, kAuditLevel >= 2);
+    // Paranoid implies cheap: the levels are a ladder, not a set.
+    EXPECT_TRUE(!kAuditParanoid || kAuditCheap);
+}
+
+TEST(Contracts, AssertPassesOnTrueCondition)
+{
+    int evaluations = 0;
+    XMIG_ASSERT(++evaluations > 0, "must not fire");
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ContractsDeathTest, AssertFiresAtEveryLevel)
+{
+    EXPECT_DEATH(XMIG_ASSERT(1 == 2, "width %d", 42),
+                 "assertion failed.*1 == 2.*width 42");
+}
+
+TEST(Contracts, AuditEvaluatesOnlyWhenCompiledIn)
+{
+    int evaluations = 0;
+    XMIG_AUDIT(++evaluations > 0, "must not fire");
+    EXPECT_EQ(evaluations, kAuditCheap ? 1 : 0);
+}
+
+TEST(ContractsDeathTest, AuditFiresAtCheapAndAbove)
+{
+    if (!kAuditCheap)
+        GTEST_SKIP() << "audits compiled out at level "
+                     << kAuditLevel;
+    EXPECT_DEATH(XMIG_AUDIT(false, "counter %u", 7u),
+                 "audit failed.*counter 7");
+}
+
+TEST(Contracts, AuditIsInertWhenDisabled)
+{
+    if (kAuditCheap)
+        GTEST_SKIP() << "audits are live at level " << kAuditLevel;
+    // Must neither evaluate nor panic, even on a false condition.
+    int evaluations = 0;
+    XMIG_AUDIT((++evaluations, false), "must not fire");
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contracts, ExpectEvaluatesOnlyWhenParanoid)
+{
+    int evaluations = 0;
+    XMIG_EXPECT(++evaluations > 0, "must not fire");
+    EXPECT_EQ(evaluations, kAuditParanoid ? 1 : 0);
+}
+
+TEST(ContractsDeathTest, ExpectFiresOnlyAtParanoid)
+{
+    if (!kAuditParanoid)
+        GTEST_SKIP() << "paranoid audits compiled out at level "
+                     << kAuditLevel;
+    EXPECT_DEATH(XMIG_EXPECT(false, "sweep %d", -1),
+                 "paranoid audit failed.*sweep -1");
+}
+
+TEST(Contracts, ExpectIsInertBelowParanoid)
+{
+    if (kAuditParanoid)
+        GTEST_SKIP() << "paranoid audits are live";
+    int evaluations = 0;
+    XMIG_EXPECT((++evaluations, false), "must not fire");
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Contracts, DisabledMacrosStillParseTheirArguments)
+{
+    // A syntactically valid but disabled check must compile and not
+    // warn about the variables it mentions; this is the anti-rot
+    // guarantee that lets audits reference state in release builds.
+    const int occupancy = 3;
+    const int capacity = 4;
+    XMIG_EXPECT(occupancy <= capacity, "%d of %d", occupancy, capacity);
+    XMIG_AUDIT(occupancy <= capacity, "%d of %d", occupancy, capacity);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace xmig

@@ -132,7 +132,8 @@ TEST(AffinityBehavior, TransitionFrequencyLowPassBound)
         p.references = 2'000'000;
         p.engine.windowSize = window;
         const SnapshotResult r = runAffinitySnapshot(s, p);
-        EXPECT_LT(r.transitionFrequency, 1.0 / (2.0 * window) * 1.5)
+        EXPECT_LT(r.transitionFrequency,
+                  1.0 / (2.0 * static_cast<double>(window)) * 1.5)
             << "|R| = " << window;
     }
 }

@@ -112,6 +112,68 @@ TEST(AffinityCacheStore, StorageArithmeticMatchesPaper)
     EXPECT_EQ(small.storageBits(20) / 8 / 1024, 38u);
 }
 
+TEST(OeStoreStats, UnboundedStoreAccounting)
+{
+    UnboundedOeStore store(16);
+    store.lookup(1, 0); // miss
+    store.lookup(1, 0); // hit
+    store.lookup(2, 0); // miss
+    store.store(3, 7);
+    store.lookup(3, 0); // hit (direct store created the entry)
+    const OeStoreStats &s = store.stats();
+    EXPECT_EQ(s.lookups, 4u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.hits(), 2u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.evictions, 0u); // unbounded storage never evicts
+    EXPECT_EQ(store.entries(), 3u);
+}
+
+TEST(OeStoreStats, AffinityCacheCountsEvictions)
+{
+    // A tiny cache under a working set 8x its capacity must evict;
+    // every eviction is counted and hits + misses stay consistent.
+    AffinityCacheConfig c;
+    c.entries = 64;
+    c.ways = 4;
+    c.skewed = false;
+    AffinityCacheStore store(c);
+    const uint64_t kLines = 512;
+    const int rounds = 4;
+    for (int r = 0; r < rounds; ++r) {
+        for (uint64_t line = 0; line < kLines; ++line)
+            store.lookup(line, 0);
+    }
+    const OeStoreStats &s = store.stats();
+    EXPECT_EQ(s.lookups, kLines * rounds);
+    EXPECT_EQ(s.hits(), s.lookups - s.misses);
+    EXPECT_GT(s.evictions, 0u);
+    // Each eviction displaced an earlier fill; the cache can never
+    // have evicted more entries than it allocated.
+    EXPECT_LE(s.evictions, s.misses + s.stores);
+    // Occupancy + evictions = entries ever allocated by misses (no
+    // store() fills happened here).
+    EXPECT_EQ(store.occupancy() + s.evictions, s.misses);
+    EXPECT_LE(store.occupancy(), c.entries);
+}
+
+TEST(OeStoreStats, StoreDisplacementCountsAsEviction)
+{
+    AffinityCacheConfig c;
+    c.entries = 16;
+    c.ways = 2;
+    c.skewed = false;
+    AffinityCacheStore store(c);
+    // Fill via direct store() writes (the R-window write-back path).
+    for (uint64_t line = 0; line < 256; ++line)
+        store.store(line, 1);
+    const OeStoreStats &s = store.stats();
+    EXPECT_EQ(s.stores, 256u);
+    EXPECT_EQ(s.lookups, 0u);
+    EXPECT_GT(s.evictions, 0u);
+    EXPECT_EQ(store.occupancy() + s.evictions, s.stores);
+}
+
 TEST(AffinityCacheStore, SkewedVariantWorks)
 {
     AffinityCacheConfig c;

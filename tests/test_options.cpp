@@ -61,14 +61,14 @@ TEST(QuadcoreWarmup, ExcludesWarmupEvents)
     // Counted instructions reflect only the measured window.
     EXPECT_NEAR(static_cast<double>(warm_row.instructions),
                 static_cast<double>(cold_row.instructions),
-                cold_row.instructions * 0.15);
+                static_cast<double>(cold_row.instructions) * 0.15);
     // With the controller already trained, the measured window shows
     // far fewer migration-machine misses than the cold-start run.
     EXPECT_LT(warm_row.l2Misses4x, cold_row.l2Misses4x / 2);
     // The baseline (capacity-bound) miss rate barely changes.
     EXPECT_NEAR(static_cast<double>(warm_row.l2MissesBaseline),
                 static_cast<double>(cold_row.l2MissesBaseline),
-                cold_row.l2MissesBaseline * 0.25);
+                static_cast<double>(cold_row.l2MissesBaseline) * 0.25);
 }
 
 } // namespace

@@ -80,6 +80,73 @@ TEST(SatInt, SetClamps)
     EXPECT_EQ(v.get(), 5);
 }
 
+TEST(SatInt, AddReportsClamping)
+{
+    // add() returns whether the value was clamped: the shadow-audit
+    // oracle uses this as its saturation disarm signal.
+    SatInt v(8);
+    EXPECT_FALSE(v.add(100));
+    EXPECT_TRUE(v.add(100)); // 200 clamps to 127
+    EXPECT_EQ(v.get(), 127);
+    EXPECT_FALSE(v.add(-255));
+    EXPECT_TRUE(v.add(-1)); // -129 clamps to -128
+    EXPECT_EQ(v.get(), -128);
+    EXPECT_FALSE(v.add(0));
+}
+
+TEST(SatInt, SetReportsClamping)
+{
+    SatInt v(16);
+    EXPECT_FALSE(v.set(32767));
+    EXPECT_TRUE(v.set(32768));
+    EXPECT_EQ(v.get(), 32767);
+    EXPECT_TRUE(v.set(-32769));
+    EXPECT_EQ(v.get(), -32768);
+    EXPECT_FALSE(v.set(-32768));
+}
+
+TEST(SatInt, NarrowestWidthCorners)
+{
+    // 2 bits: range [-2, 1], the smallest legal SatInt.
+    SatInt v(2);
+    EXPECT_TRUE(v.add(2));
+    EXPECT_EQ(v.get(), 1);
+    EXPECT_FALSE(v.add(-3));
+    EXPECT_EQ(v.get(), -2);
+    EXPECT_TRUE(v.add(-1));
+    EXPECT_EQ(v.get(), -2);
+    // Crossing zero in one step is not a clamp.
+    EXPECT_FALSE(v.add(3));
+    EXPECT_EQ(v.get(), 1);
+}
+
+TEST(SatInt, WidestWidthCorners)
+{
+    // 62 bits: the widest supported width must clamp exactly at its
+    // bounds, not wrap in the int64_t arithmetic underneath.
+    SatInt v(62);
+    const int64_t hi = SatInt::maxForBits(62);
+    const int64_t lo = SatInt::minForBits(62);
+    EXPECT_FALSE(v.add(hi));
+    EXPECT_EQ(v.get(), hi);
+    EXPECT_TRUE(v.add(hi));
+    EXPECT_EQ(v.get(), hi);
+    EXPECT_FALSE(v.set(0));
+    EXPECT_FALSE(v.add(lo));
+    EXPECT_EQ(v.get(), lo);
+    EXPECT_TRUE(v.add(lo));
+    EXPECT_EQ(v.get(), lo);
+}
+
+TEST(SatInt, SignFlipsAroundZeroWithoutClamping)
+{
+    SatInt v(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(v.add(i % 2 == 0 ? 1 : -1));
+        EXPECT_TRUE(v.get() == 0 || v.get() == 1);
+    }
+}
+
 TEST(SignFunction, ZeroIsPositive)
 {
     // The paper defines sign(0) = +1 (section 3.2).

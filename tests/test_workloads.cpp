@@ -168,7 +168,7 @@ TEST(Workloads, InstructionHeavyClassMissesInIL1)
         L1Filter filter(c, null_sink);
         makeWorkload(name)->run(filter, 1'000'000);
         const double imiss_per_kinstr =
-            filter.il1Stats().misses / 1000.0;
+            static_cast<double>(filter.il1Stats().misses) / 1000.0;
         EXPECT_GT(imiss_per_kinstr, 5.0) << name;
     }
     // Most other benchmarks barely miss in IL1.
