@@ -11,7 +11,9 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
+#include "sim/observe.hpp"
 #include "sim/options.hpp"
 #include "sim/quadcore.hpp"
 #include "util/stats.hpp"
@@ -45,11 +47,22 @@ main(int argc, char **argv)
     const auto &names =
         opt.benchmarks.empty() ? allWorkloadNames() : opt.benchmarks;
 
+    // xmig-scope outputs observe the first selected benchmark (one
+    // registry per run; see sim/observe.hpp).
+    std::unique_ptr<RunObservatory> observatory;
+    if (opt.observing())
+        observatory =
+            std::make_unique<RunObservatory>(observeOptionsOf(opt));
+
     AsciiTable table({"benchmark", "L1miss", "L2miss", "4xL2miss",
                       "ratio", "migration", "paper-ratio"});
     std::string suite;
+    bool first = true;
     for (const auto &name : names) {
-        const QuadcoreRow r = runQuadcore(name, params);
+        const QuadcoreRow r =
+            runQuadcore(name, params,
+                        first ? observatory.get() : nullptr);
+        first = false;
         if (r.suite != suite) {
             suite = r.suite;
             table.addSection(suite);

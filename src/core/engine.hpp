@@ -20,10 +20,15 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/oe_store.hpp"
 #include "core/rwindow.hpp"
 #include "util/saturating.hpp"
+
+namespace xmig::obs {
+class MetricsRegistry;
+} // namespace xmig::obs
 
 namespace xmig {
 
@@ -120,6 +125,15 @@ class AffinityEngine
 
     /** The shadow-model oracle (nullptr when ShadowMode::Off). */
     const ShadowAudit *shadow() const { return shadow_.get(); }
+
+    /**
+     * Register this engine's live state under `prefix` (xmig-scope):
+     * `<prefix>.references`, `.delta`, `.window_affinity`,
+     * `.window_occupancy`. The engine must outlive the registry's
+     * last export.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     int64_t saturate(int64_t v) const;

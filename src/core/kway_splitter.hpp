@@ -74,6 +74,16 @@ class KWaySplitter
     /** Root mechanism (the only shadow-auditable one; see Config). */
     const AffinityEngine &rootEngine() const { return *nodes_[0].engine; }
 
+    /** Root transition filter (the whole-working-set split). */
+    const TransitionFilter &rootFilter() const
+    {
+        return *nodes_[0].filter;
+    }
+
+    /** Register every tree node's mechanism under `prefix`. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
   private:
     /** One tree node: a 2-way mechanism. */
     struct Node

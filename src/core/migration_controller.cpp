@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -106,6 +107,11 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
                "filtering violated)");
     if (decision.subset != activeCore_) {
         ++stats_.migrations;
+        XMIG_TRACE("migration", "migrate",
+                   {{"from", activeCore_},
+                    {"to", decision.subset},
+                    {"line", line},
+                    {"n", stats_.migrations}});
         activeCore_ = decision.subset;
     }
     XMIG_AUDIT(stats_.migrations <= stats_.transitions &&
@@ -137,6 +143,26 @@ MigrationController::shadowAudit() const
     if (four_)
         return four_->engineX().shadow();
     return kway_->rootEngine().shadow();
+}
+
+const AffinityEngine &
+MigrationController::rootEngine() const
+{
+    if (two_)
+        return two_->engine();
+    if (four_)
+        return four_->engineX();
+    return kway_->rootEngine();
+}
+
+const TransitionFilter &
+MigrationController::rootFilter() const
+{
+    if (two_)
+        return two_->filter();
+    if (four_)
+        return four_->filterX();
+    return kway_->rootFilter();
 }
 
 uint64_t

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/kway_splitter.hpp"
 #include "core/oe_store.hpp"
@@ -118,10 +119,25 @@ class MigrationController
     uint64_t splitterTransitions() const;
 
     /**
+     * Register controller, O_e-store, and splitter state under
+     * `prefix` (xmig-scope): `<prefix>.requests`, `.filter_updates`,
+     * `.transitions`, `.migrations`, `.active_core`, the store's
+     * `.store.*` counters, and the splitter tree under `.splitter.*`.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
+    /**
      * Shadow oracle of the audited mechanism (X for 2/4 cores, the
      * tree root otherwise); nullptr unless shadowAudit was set.
      */
     const ShadowAudit *shadowAudit() const;
+
+    /** Whole-working-set mechanism (X / the tree root). */
+    const AffinityEngine &rootEngine() const;
+
+    /** Whole-working-set transition filter. */
+    const TransitionFilter &rootFilter() const;
 
   private:
     MigrationControllerConfig config_;

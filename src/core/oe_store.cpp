@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -54,6 +55,10 @@ AffinityCacheStore::lookup(uint64_t line, int64_t delta)
     tags_->allocate(line, &victim, &victim_valid);
     if (victim_valid) {
         ++stats_.evictions;
+        XMIG_TRACE("affinity_cache", "evict",
+                   {{"victim", victim.line},
+                    {"for", line},
+                    {"evictions", stats_.evictions}});
         const size_t erased = payload_.erase(victim.line);
         XMIG_AUDIT(erased == 1,
                    "evicted line %llu had no payload to drop",
@@ -82,6 +87,10 @@ AffinityCacheStore::store(uint64_t line, int64_t oe)
     tags_->allocate(line, &victim, &victim_valid);
     if (victim_valid) {
         ++stats_.evictions;
+        XMIG_TRACE("affinity_cache", "evict",
+                   {{"victim", victim.line},
+                    {"for", line},
+                    {"evictions", stats_.evictions}});
         const size_t erased = payload_.erase(victim.line);
         XMIG_AUDIT(erased == 1,
                    "evicted line %llu had no payload to drop",

@@ -1,6 +1,7 @@
 #include "core/shadow_audit.hpp"
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -38,6 +39,7 @@ ShadowAudit::disarm(const char *reason)
     if (!armed_)
         return;
     armed_ = false;
+    XMIG_TRACE("shadow", "disarm", reason);
     XMIG_WARN("shadow audit [%s] disarmed after %llu comparisons: %s",
               tag_.c_str(), (unsigned long long)comparisons_, reason);
 }

@@ -13,12 +13,22 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/engine.hpp"
 #include "core/transition_filter.hpp"
 #include "util/hashing.hpp"
 
 namespace xmig {
+
+/**
+ * Register a transition filter's live state under `prefix`
+ * (xmig-scope): `<prefix>.value`, `.transitions`, `.updates`,
+ * `.saturated`. Shared by every splitter flavor.
+ */
+void registerFilterMetrics(obs::MetricsRegistry &registry,
+                           const std::string &prefix,
+                           const TransitionFilter &filter);
 
 /** Outcome of presenting one reference to a splitter. */
 struct SplitDecision
@@ -60,6 +70,10 @@ class TwoWaySplitter
     const TransitionFilter &filter() const { return filter_; }
     const AffinityEngine &engine() const { return engine_; }
     AffinityEngine &engine() { return engine_; }
+
+    /** Register mechanism state under `prefix` (xmig-scope). */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     Config config_;
@@ -113,6 +127,10 @@ class FourWaySplitter
     const TransitionFilter &filterX() const { return filterX_; }
     const TransitionFilter &filterY(int side_x) const;
     const AffinityEngine &engineX() const { return engineX_; }
+
+    /** Register every mechanism (X, Y[+1], Y[-1]) under `prefix`. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
 
   private:
     AffinityEngine &engineY(int side_x);

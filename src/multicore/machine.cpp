@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -73,6 +74,10 @@ MigrationMachine::onLine(const LineEvent &event)
     if (event.l1Miss)
         ++stats_.l1Misses;
 
+    // The trace timeline advances in post-L1 references: every event
+    // recorded below lands at this logical instant.
+    XMIG_TRACE_CLOCK(stats_.refs);
+
     if (controller_ && event.l1Miss) {
         // The controller monitors L1-miss requests. With L2 filtering
         // its transition filters move only when the request would
@@ -83,6 +88,7 @@ MigrationMachine::onLine(const LineEvent &event)
             controller_->onRequest(event.line, l2_miss, event.pointer);
         if (target != activeCore_) {
             ++stats_.migrations;
+            XMIG_TRACE_COUNTER("machine", "active_core", target);
             activeCore_ = target;
         }
     }

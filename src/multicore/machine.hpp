@@ -158,6 +158,15 @@ class MigrationMachine : public RefSink, private LineSink
      */
     uint64_t countMultiModifiedLines() const;
 
+    /**
+     * Register every machine counter under `prefix` (xmig-scope):
+     * the MachineStats fields, per-level cache stats
+     * (`<prefix>.il1.*`, `.dl1.*`, `.core<i>.l2.*`, `.l3.*`), and
+     * the controller tree under `<prefix>.controller.*`.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix) const;
+
   private:
     void onLine(const LineEvent &event) override;
 

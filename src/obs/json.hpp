@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Minimal JSON helpers for the observability layer.
+ *
+ * The exporters (metrics JSONL, Chrome trace_event files) emit JSON
+ * by string concatenation — no external dependency is available in
+ * this environment — so this header centralizes the two things that
+ * must be exactly right: string escaping on the way out, and a
+ * validating parser the tests use to prove every emitted byte stream
+ * is well-formed JSON before shipping it to pandas / Perfetto.
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace xmig::obs {
+
+/** Escape a string for embedding between JSON double quotes. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Format a double as a JSON number: finite values print with enough
+ * precision to round-trip; NaN / infinity (not representable in JSON)
+ * degrade to null.
+ */
+inline std::string
+jsonNumber(double v)
+{
+    if (v != v || v > 1.7e308 || v < -1.7e308)
+        return "null";
+    // Integral values (the common case for counters) print without a
+    // fractional part so JSONL diffs stay stable.
+    if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+        v >= -9.0e15 && v <= 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace detail {
+
+/** Recursive-descent JSON validator (structure only, no DOM). */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text)
+        : s_(text)
+    {
+    }
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (depth_ > 256 || pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        return literal("true") || literal("false") || literal("null");
+    }
+
+    bool
+    object()
+    {
+        ++depth_;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"' || !string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++depth_;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        ++pos_; // opening quote
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char inside a string
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return false;
+                const char e = s_[pos_ + 1];
+                if (e == 'u') {
+                    if (pos_ + 5 >= s_.size())
+                        return false;
+                    for (size_t i = pos_ + 2; i < pos_ + 6; ++i) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(s_[i])))
+                            return false;
+                    }
+                    pos_ += 6;
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return false;
+                pos_ += 2;
+                continue;
+            }
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    digits()
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9')
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace detail
+
+/** True if `text` is one complete, well-formed JSON value. */
+inline bool
+jsonParseOk(const std::string &text)
+{
+    return detail::JsonValidator(text).valid();
+}
+
+} // namespace xmig::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Wall-clock profiling scopes for the simulation phases.
+ *
+ * XMIG_PROF_SCOPE("quadcore.run") at the top of a block records the
+ * block's wall-clock time into the global ProfileRegistry, tracking
+ * both *total* time (inclusive of nested scopes) and *self* time
+ * (exclusive). Scopes are meant for phase granularity — a benchmark,
+ * a warm-up, an export pass — not per-reference paths; each scope
+ * costs two steady_clock reads. When a trace session is active the
+ * scope additionally lands as a Chrome "X" (complete) event on the
+ * wall-clock pid of the trace, so Perfetto shows simulated events and
+ * host time side by side.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmig::obs {
+
+/** Accumulated timing of one named scope. */
+struct ProfEntry
+{
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t totalNs = 0; ///< inclusive of nested scopes
+    uint64_t childNs = 0; ///< time spent in nested scopes
+
+    uint64_t
+    selfNs() const
+    {
+        return totalNs >= childNs ? totalNs - childNs : 0;
+    }
+};
+
+/**
+ * Global accumulator of profiling scopes.
+ */
+class ProfileRegistry
+{
+  public:
+    static ProfileRegistry &instance();
+
+    void record(const char *name, uint64_t elapsed_ns,
+                uint64_t child_ns);
+
+    /** All entries, in first-seen order. */
+    const std::vector<ProfEntry> &entries() const { return entries_; }
+
+    const ProfEntry *find(const std::string &name) const;
+
+    /** AsciiTable report: phase, calls, total ms, self ms. */
+    std::string report(const std::string &title =
+                           "wall-clock profile (XMIG_PROF_SCOPE)") const;
+
+    void reset();
+
+  private:
+    std::vector<ProfEntry> entries_; ///< small; linear lookup is fine
+};
+
+/**
+ * RAII wall-clock scope; use through XMIG_PROF_SCOPE.
+ */
+class ProfScope
+{
+  public:
+    explicit ProfScope(const char *name);
+    ~ProfScope();
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+    ProfScope *parent_;
+    uint64_t childNs_ = 0;
+};
+
+} // namespace xmig::obs
+
+#define XMIG_PROF_DETAIL_CONCAT2(a, b) a##b
+#define XMIG_PROF_DETAIL_CONCAT(a, b) XMIG_PROF_DETAIL_CONCAT2(a, b)
+
+/** Time the enclosing block as a named profiling phase. */
+#define XMIG_PROF_SCOPE(name) \
+    ::xmig::obs::ProfScope XMIG_PROF_DETAIL_CONCAT( \
+        xmig_prof_scope_, __LINE__)(name)

@@ -1,0 +1,213 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/contracts.hpp"
+
+namespace xmig::obs {
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+MetricsRegistry::claim(const std::string &path)
+{
+    XMIG_ASSERT(!path.empty(), "metric path must not be empty");
+    if (index_.count(path))
+        return false;
+    index_.emplace(path, entries_.size());
+    return true;
+}
+
+bool
+MetricsRegistry::addCounter(const std::string &path,
+                            const uint64_t *counter)
+{
+    XMIG_ASSERT(counter != nullptr, "null counter for '%s'",
+                path.c_str());
+    if (!claim(path))
+        return false;
+    Entry e;
+    e.name = path;
+    e.kind = MetricKind::Counter;
+    e.counter = counter;
+    entries_.push_back(std::move(e));
+    return true;
+}
+
+bool
+MetricsRegistry::addGauge(const std::string &path, GaugeFn fn)
+{
+    XMIG_ASSERT(static_cast<bool>(fn), "null gauge for '%s'",
+                path.c_str());
+    if (!claim(path))
+        return false;
+    Entry e;
+    e.name = path;
+    e.kind = MetricKind::Gauge;
+    e.gauge = std::move(fn);
+    entries_.push_back(std::move(e));
+    return true;
+}
+
+bool
+MetricsRegistry::addHistogram(const std::string &path,
+                              const Histogram *hist)
+{
+    XMIG_ASSERT(hist != nullptr, "null histogram for '%s'",
+                path.c_str());
+    if (!claim(path))
+        return false;
+    Entry e;
+    e.name = path;
+    e.kind = MetricKind::Histogram;
+    e.hist = hist;
+    entries_.push_back(std::move(e));
+    return true;
+}
+
+bool
+MetricsRegistry::contains(const std::string &path) const
+{
+    return index_.count(path) != 0;
+}
+
+std::optional<MetricKind>
+MetricsRegistry::kindOf(const std::string &path) const
+{
+    auto it = index_.find(path);
+    if (it == index_.end())
+        return std::nullopt;
+    return entries_[it->second].kind;
+}
+
+double
+MetricsRegistry::read(const Entry &e) const
+{
+    switch (e.kind) {
+      case MetricKind::Counter:
+        return static_cast<double>(*e.counter);
+      case MetricKind::Gauge:
+        return e.gauge();
+      case MetricKind::Histogram:
+        return static_cast<double>(e.hist->count());
+    }
+    return 0.0;
+}
+
+std::optional<double>
+MetricsRegistry::value(const std::string &path) const
+{
+    auto it = index_.find(path);
+    if (it == index_.end())
+        return std::nullopt;
+    return read(entries_[it->second]);
+}
+
+std::vector<size_t>
+MetricsRegistry::sortedOrder() const
+{
+    std::vector<size_t> order(entries_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return entries_[a].name < entries_[b].name;
+    });
+    return order;
+}
+
+std::string
+MetricsRegistry::renderJsonl() const
+{
+    std::string out;
+    for (const size_t i : sortedOrder()) {
+        const Entry &e = entries_[i];
+        out += "{\"name\":\"" + jsonEscape(e.name) + "\",\"kind\":\"";
+        out += kindName(e.kind);
+        out += "\",\"value\":" + jsonNumber(read(e));
+        if (e.kind == MetricKind::Histogram) {
+            out += ",\"buckets\":[";
+            const auto &buckets = e.hist->buckets();
+            for (size_t b = 0; b < buckets.size(); ++b) {
+                if (b)
+                    out += ",";
+                out += jsonNumber(static_cast<double>(buckets[b]));
+            }
+            out += "]";
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderCsv() const
+{
+    std::string out = "name,kind,value\n";
+    for (const size_t i : sortedOrder()) {
+        const Entry &e = entries_[i];
+        out += csvQuote(e.name) + "," + kindName(e.kind) + "," +
+               jsonNumber(read(e)) + "\n";
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderTable(const std::string &title) const
+{
+    AsciiTable table({"metric", "kind", "value"});
+    for (const size_t i : sortedOrder()) {
+        const Entry &e = entries_[i];
+        table.addRow({e.name, kindName(e.kind), jsonNumber(read(e))});
+    }
+    return table.render(title);
+}
+
+namespace {
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        XMIG_WARN("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const size_t written =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return written == content.size();
+}
+
+} // namespace
+
+bool
+MetricsRegistry::writeJsonl(const std::string &path) const
+{
+    return writeFile(path, renderJsonl());
+}
+
+bool
+MetricsRegistry::writeCsv(const std::string &path) const
+{
+    return writeFile(path, renderCsv());
+}
+
+} // namespace xmig::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/contracts.hpp"
+
+namespace xmig::obs {
+
+Tracer &
+tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+void
+Tracer::start(const std::string &path)
+{
+    XMIG_ASSERT(!path.empty(), "trace output path must not be empty");
+    if (enabled_) {
+        XMIG_WARN("tracer restarted while a session to '%s' was "
+                  "active; %zu buffered events discarded",
+                  path_.c_str(), events_.size());
+    }
+    events_.clear();
+    dropped_ = 0;
+    clock_ = 0;
+    path_ = path;
+    enabled_ = true;
+    detail::traceActive = true;
+}
+
+bool
+Tracer::admit()
+{
+    if (events_.size() < limit_)
+        return true;
+    ++dropped_;
+    return false;
+}
+
+void
+Tracer::push(std::string event_json)
+{
+    events_.push_back(std::move(event_json));
+}
+
+void
+Tracer::instant(const char *category, const char *name,
+                std::initializer_list<TraceArg> args)
+{
+    if (!enabled_ || !admit())
+        return;
+    std::string e = "{\"name\":\"" + jsonEscape(name) +
+                    "\",\"cat\":\"" + jsonEscape(category) +
+                    "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+                    jsonNumber(static_cast<double>(clock_)) +
+                    ",\"pid\":0,\"tid\":0";
+    if (args.size() > 0) {
+        e += ",\"args\":{";
+        bool first = true;
+        for (const TraceArg &a : args) {
+            if (!first)
+                e += ",";
+            first = false;
+            e += "\"" + jsonEscape(a.key) +
+                 "\":" + jsonNumber(a.value);
+        }
+        e += "}";
+    }
+    e += "}";
+    push(std::move(e));
+}
+
+void
+Tracer::instant(const char *category, const char *name,
+                const char *note)
+{
+    if (!enabled_ || !admit())
+        return;
+    push("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
+         jsonEscape(category) + "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+         jsonNumber(static_cast<double>(clock_)) +
+         ",\"pid\":0,\"tid\":0,\"args\":{\"note\":\"" +
+         jsonEscape(note) + "\"}}");
+}
+
+void
+Tracer::counter(const char *category, const char *name, double value)
+{
+    if (!enabled_ || !admit())
+        return;
+    push("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
+         jsonEscape(category) + "\",\"ph\":\"C\",\"ts\":" +
+         jsonNumber(static_cast<double>(clock_)) +
+         ",\"pid\":0,\"tid\":0,\"args\":{\"value\":" +
+         jsonNumber(value) + "}}");
+}
+
+void
+Tracer::completeWall(const char *name, uint64_t ts_us, uint64_t dur_us)
+{
+    if (!enabled_ || !admit())
+        return;
+    push("{\"name\":\"" + jsonEscape(name) +
+         "\",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":" +
+         jsonNumber(static_cast<double>(ts_us)) + ",\"dur\":" +
+         jsonNumber(static_cast<double>(dur_us)) +
+         ",\"pid\":1,\"tid\":0}");
+}
+
+std::string
+Tracer::renderJson() const
+{
+    std::string out = "{\"traceEvents\":[\n";
+    // Process labels: pid 0 is the deterministic simulated timeline,
+    // pid 1 the host wall-clock of the profiling scopes.
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+           "\"tid\":0,\"args\":{\"name\":\"simulated time "
+           "(references)\"}},\n";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"wall clock "
+           "(profiling scopes)\"}}";
+    for (const auto &e : events_) {
+        out += ",\n";
+        out += e;
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+           "\"tool\":\"xmig-scope\",\"droppedEvents\":" +
+           jsonNumber(static_cast<double>(dropped_)) + "}}\n";
+    return out;
+}
+
+void
+Tracer::stop()
+{
+    if (!enabled_)
+        return;
+    enabled_ = false;
+    detail::traceActive = false;
+    const std::string content = renderJson();
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        XMIG_WARN("cannot open trace output '%s' for writing",
+                  path_.c_str());
+        events_.clear();
+        return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (dropped_ > 0) {
+        XMIG_WARN("trace '%s': %llu events dropped past the %zu-event "
+                  "buffer limit",
+                  path_.c_str(), (unsigned long long)dropped_, limit_);
+    }
+    events_.clear();
+    events_.shrink_to_fit();
+}
+
+} // namespace xmig::obs

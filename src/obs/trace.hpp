@@ -1,0 +1,204 @@
+/**
+ * @file
+ * xmig-scope structured event tracing: Chrome trace_event output.
+ *
+ * The Tracer records lightweight structured events — migrations,
+ * transition-filter flips, affinity-cache evictions, shadow-audit
+ * disarms — as Chrome trace_event JSON that chrome://tracing and
+ * Perfetto open directly. The timeline's clock is *simulated logical
+ * time* (post-L1 references), advanced by the machine via
+ * XMIG_TRACE_CLOCK, so traces are deterministic across hosts;
+ * wall-clock profiling scopes (obs/prof.hpp) land on a second "pid"
+ * of the same file.
+ *
+ * Cost model: every emission site is wrapped in the XMIG_TRACE macro,
+ * which tests a single global bool before doing any work — dormant
+ * tracing costs one predictable branch on the (already rare) event
+ * paths. Building with -DXMIG_TRACE=OFF compiles the macros away
+ * entirely (their arguments are parsed but never evaluated, exactly
+ * like the disabled contract macros), for bit-identical hot loops.
+ *
+ * Memory stays bounded: past `limit()` events, new events are dropped
+ * and counted; the drop count is recorded in the trace metadata.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#ifndef XMIG_TRACE_ENABLED
+#define XMIG_TRACE_ENABLED 1
+#endif
+
+namespace xmig::obs {
+
+/** True when the XMIG_TRACE macros are compiled in. */
+inline constexpr bool kTraceCompiled = XMIG_TRACE_ENABLED != 0;
+
+/** One numeric argument attached to a trace event. */
+struct TraceArg
+{
+    /** Accepts any arithmetic value (avoids narrowing-in-braced-init
+     *  errors at XMIG_TRACE call sites passing counters). */
+    template <typename T>
+    TraceArg(const char *k, T v)
+        : key(k),
+          value(static_cast<double>(v))
+    {
+    }
+
+    const char *key;
+    double value;
+};
+
+/**
+ * Collector of Chrome trace_event records.
+ */
+class Tracer
+{
+  public:
+    /** Begin a tracing session that will be written to `path`. */
+    void start(const std::string &path);
+
+    /** Flush the session to its file and disable tracing. */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool enabled() const { return enabled_; }
+
+    /** Advance the simulated-time clock (microsecond ticks). */
+    void setClock(uint64_t t) { clock_ = t; }
+    uint64_t clock() const { return clock_; }
+
+    /** Instant event ("i" phase) with numeric args. */
+    void instant(const char *category, const char *name,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Instant event carrying a free-form note string. */
+    void instant(const char *category, const char *name,
+                 const char *note);
+
+    /** Counter event ("C" phase): one sample of a counter track. */
+    void counter(const char *category, const char *name, double value);
+
+    /**
+     * Complete event ("X" phase) on the wall-clock pid, used by the
+     * profiling scopes. `ts_us`/`dur_us` are host microseconds.
+     */
+    void completeWall(const char *name, uint64_t ts_us, uint64_t dur_us);
+
+    /** Events currently buffered. */
+    size_t events() const { return events_.size(); }
+
+    /** Events dropped after the buffer limit was reached. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Cap on buffered events (default 1M). */
+    void setLimit(size_t max_events) { limit_ = max_events; }
+    size_t limit() const { return limit_; }
+
+    /** Render the full Chrome trace JSON document. */
+    std::string renderJson() const;
+
+  private:
+    bool admit();
+    void push(std::string event_json);
+
+    bool enabled_ = false;
+    std::string path_;
+    uint64_t clock_ = 0;
+    std::vector<std::string> events_; ///< pre-rendered JSON objects
+    size_t limit_ = 1'000'000;
+    uint64_t dropped_ = 0;
+};
+
+/** The process-wide tracer the XMIG_TRACE macros talk to. */
+Tracer &tracer();
+
+namespace detail {
+
+/**
+ * The "single global bool" of the cost model above: mirrors
+ * tracer().enabled() so dormant trace sites — including the
+ * per-reference XMIG_TRACE_CLOCK — test one inlined load instead of
+ * paying a function call plus a guarded-static check. Maintained by
+ * Tracer::start()/stop(); never write it elsewhere.
+ */
+inline bool traceActive = false;
+
+/** Parse-only sink for compiled-out trace macros (arguments must
+ *  stay syntactically valid at every build setting). */
+inline void
+traceNoop(const char *, const char *,
+          std::initializer_list<TraceArg> = {})
+{
+}
+
+inline void
+traceNoop(const char *, const char *, const char *)
+{
+}
+
+} // namespace detail
+
+} // namespace xmig::obs
+
+#if XMIG_TRACE_ENABLED
+
+/**
+ * Record a structured instant event:
+ *   XMIG_TRACE("migration", "migrate", {{"from", 0}, {"to", 2}});
+ *   XMIG_TRACE("shadow", "disarm", reason_string);
+ * Costs one branch when no tracing session is active.
+ */
+#define XMIG_TRACE(category, name, ...) \
+    do { \
+        if (::xmig::obs::detail::traceActive) \
+            ::xmig::obs::tracer().instant((category), (name), \
+                                          ##__VA_ARGS__); \
+    } while (0)
+
+/** Record one sample of a named counter track. */
+#define XMIG_TRACE_COUNTER(category, name, value) \
+    do { \
+        if (::xmig::obs::detail::traceActive) \
+            ::xmig::obs::tracer().counter( \
+                (category), (name), static_cast<double>(value)); \
+    } while (0)
+
+/** Advance the simulated-time clock of the trace. */
+#define XMIG_TRACE_CLOCK(t) \
+    do { \
+        if (::xmig::obs::detail::traceActive) \
+            ::xmig::obs::tracer().setClock( \
+                static_cast<uint64_t>(t)); \
+    } while (0)
+
+#else // !XMIG_TRACE_ENABLED
+
+#define XMIG_TRACE(category, name, ...) \
+    do { \
+        if (false) \
+            ::xmig::obs::detail::traceNoop((category), (name), \
+                                           ##__VA_ARGS__); \
+    } while (0)
+
+#define XMIG_TRACE_COUNTER(category, name, value) \
+    do { \
+        if (false) { \
+            (void)(category); \
+            (void)(name); \
+            (void)static_cast<double>(value); \
+        } \
+    } while (0)
+
+#define XMIG_TRACE_CLOCK(t) \
+    do { \
+        if (false) \
+            (void)static_cast<uint64_t>(t); \
+    } while (0)
+
+#endif // XMIG_TRACE_ENABLED

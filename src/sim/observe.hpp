@@ -1,0 +1,113 @@
+/**
+ * @file
+ * xmig-scope run observatory: one-stop wiring of the observability
+ * layer (obs/) onto a simulation run.
+ *
+ * A RunObservatory bundles the three pillars for a single run:
+ *
+ *  - a MetricsRegistry holding every machine/controller/store counter
+ *    under hierarchical dotted names (exported as JSONL at the end);
+ *  - a TimeSeriesSampler probing the affinity state (A_R, Delta,
+ *    filter value), event rates and per-core L2 occupancies every
+ *    `sampleEvery` references (exported as CSV);
+ *  - the process-wide Tracer, started/stopped around the run so
+ *    XMIG_TRACE sites (migrations, affinity-cache evictions, shadow
+ *    disarms) land in a Chrome trace_event file.
+ *
+ * Lifetime rule (see obs/registry.hpp): registered pointers reach
+ * into the live machines, so finish() must run while the machines
+ * still exist. runQuadcore() calls finish() before returning when
+ * handed an observatory.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+
+namespace xmig {
+
+class MigrationMachine;
+struct BenchOptions;
+
+/** What to observe and where to write it ("" = that output is off). */
+struct ObserveOptions
+{
+    std::string metricsOut; ///< JSONL metrics dump path
+    std::string samplesOut; ///< time-series CSV path
+    std::string traceOut;   ///< Chrome trace_event JSON path
+
+    /** References between time-series samples. */
+    uint64_t sampleEvery = 10'000;
+
+    /** Time-series ring capacity (rows). */
+    size_t sampleCapacity = 4096;
+
+    /** True if any output was requested. */
+    bool
+    any() const
+    {
+        return !metricsOut.empty() || !samplesOut.empty() ||
+               !traceOut.empty();
+    }
+};
+
+/** Build ObserveOptions from parsed common CLI flags. */
+ObserveOptions observeOptionsOf(const BenchOptions &opt);
+
+/**
+ * All observability state for one simulation run.
+ */
+class RunObservatory
+{
+  public:
+    explicit RunObservatory(const ObserveOptions &options);
+
+    /** Stops a still-running trace session (safety net). */
+    ~RunObservatory();
+
+    RunObservatory(const RunObservatory &) = delete;
+    RunObservatory &operator=(const RunObservatory &) = delete;
+
+    /**
+     * Register `machine`'s full counter tree under `prefix`. With
+     * `sampled` true (at most one machine per observatory), also
+     * install the standard time-series columns: A_R, Delta, filter
+     * value, active core, per-interval event rates, and per-core L2
+     * occupancies plus their spread.
+     */
+    void attachMachine(const MigrationMachine &machine,
+                       const std::string &prefix, bool sampled);
+
+    /** Advance sampling time; call once per memory reference. */
+    void
+    onReference()
+    {
+        if (sampling_)
+            sampler_.tick();
+    }
+
+    /**
+     * Export everything that was requested: JSONL metrics, CSV time
+     * series, and the trace file. Must run while every attached
+     * machine is still alive. Idempotent.
+     */
+    void finish();
+
+    obs::MetricsRegistry &registry() { return registry_; }
+    obs::TimeSeriesSampler &sampler() { return sampler_; }
+    const ObserveOptions &options() const { return options_; }
+
+  private:
+    ObserveOptions options_;
+    obs::MetricsRegistry registry_;
+    obs::TimeSeriesSampler sampler_;
+    bool sampling_ = false;
+    bool tracing_ = false;
+    bool finished_ = false;
+};
+
+} // namespace xmig

@@ -8,6 +8,13 @@
  *   --bench NAME   restrict to one benchmark (repeatable)
  *   --seed S       workload seed
  *   --warmup N     unmeasured warm-up instructions (where supported)
+ *
+ * xmig-scope outputs (harnesses that run a machine; applied to the
+ * first selected benchmark — see sim/observe.hpp):
+ *   --metrics-out F   dump the metrics registry as JSONL to F
+ *   --samples-out F   dump the time-series sampler as CSV to F
+ *   --trace-out F     write a Chrome trace_event JSON file to F
+ *   --sample-every N  references between time-series samples
  */
 
 #pragma once
@@ -26,6 +33,19 @@ struct BenchOptions
     uint64_t warmup = 0;
     uint64_t seed = 42;
     std::vector<std::string> benchmarks; ///< empty = all
+
+    std::string metricsOut;    ///< "" = no metrics dump
+    std::string samplesOut;    ///< "" = no time-series dump
+    std::string traceOut;      ///< "" = no trace
+    uint64_t sampleEvery = 0;  ///< 0 = sampler default cadence
+
+    /** True if any xmig-scope output was requested. */
+    bool
+    observing() const
+    {
+        return !metricsOut.empty() || !samplesOut.empty() ||
+               !traceOut.empty();
+    }
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -47,6 +67,14 @@ struct BenchOptions
                 opt.seed = std::strtoull(next(), nullptr, 10);
             else if (arg == "--bench")
                 opt.benchmarks.emplace_back(next());
+            else if (arg == "--metrics-out")
+                opt.metricsOut = next();
+            else if (arg == "--samples-out")
+                opt.samplesOut = next();
+            else if (arg == "--trace-out")
+                opt.traceOut = next();
+            else if (arg == "--sample-every")
+                opt.sampleEvery = std::strtoull(next(), nullptr, 10);
         }
         opt.instructions = static_cast<uint64_t>(
             static_cast<double>(opt.instructions) * scale);

@@ -23,6 +23,8 @@
 
 namespace xmig {
 
+class RunObservatory;
+
 /** One Table 2 row (raw event counts). */
 struct QuadcoreRow
 {
@@ -76,9 +78,17 @@ struct QuadcoreParams
     MachineConfig machine; ///< defaults are the section 4.2 setup
 };
 
-/** Run Table 2 for one benchmark. */
+/**
+ * Run Table 2 for one benchmark.
+ *
+ * An optional observatory (sim/observe.hpp) is attached to both
+ * machines — the baseline under `baseline.*`, the migration machine
+ * under `machine.*` (also time-series sampled) — and finish()ed
+ * before the machines are destroyed.
+ */
 QuadcoreRow runQuadcore(const std::string &benchmark,
-                        const QuadcoreParams &params);
+                        const QuadcoreParams &params,
+                        RunObservatory *observatory = nullptr);
 
 /** Run Table 2 for every benchmark. */
 std::vector<QuadcoreRow> runQuadcoreAll(const QuadcoreParams &params);

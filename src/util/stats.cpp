@@ -11,16 +11,27 @@ namespace xmig {
 std::string
 perEvent(uint64_t instructions, uint64_t events)
 {
+    // 0/0 is "no instructions, no events" — report 0, not infinity;
+    // a genuine never-occurred event over a real run stays "inf".
     if (events == 0)
-        return "inf";
+        return instructions == 0 ? "0" : "inf";
     const double per = static_cast<double>(instructions) /
                        static_cast<double>(events);
     char buf[32];
-    if (per < 100000.0) {
+    // %.0f rounds, so switch to the abbreviated form at the value
+    // that *rounds* to 100000 — otherwise 99999.7 prints as a
+    // six-digit "100000" while 100000.0 prints as "1.0e5".
+    if (per < 99999.5) {
         std::snprintf(buf, sizeof(buf), "%.0f", per);
     } else {
-        const int exp = static_cast<int>(std::floor(std::log10(per)));
-        const double mant = per / std::pow(10.0, exp);
+        int exp = static_cast<int>(std::floor(std::log10(per)));
+        double mant = per / std::pow(10.0, exp);
+        // %.1f rounds 9.95+ up to "10.0"; carry into the exponent so
+        // 9.96e5 prints as 1.0e6, never 10.0e5.
+        if (mant >= 9.95) {
+            mant /= 10.0;
+            ++exp;
+        }
         std::snprintf(buf, sizeof(buf), "%.1fe%d", mant, exp);
     }
     return buf;
@@ -62,6 +73,25 @@ ratio2(double r)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.2f", r);
     return buf;
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\" \t\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out += '"';
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"'; // RFC 4180: double the inner quote
+        out += c;
+    }
+    out += '"';
+    return out;
 }
 
 AsciiTable::AsciiTable(std::vector<std::string> header)
@@ -157,13 +187,21 @@ SeriesWriter::render(const std::string &title) const
     if (!title.empty()) {
         out += "# " + title + "\n";
     }
-    out += xName_;
+    out += renderCsv();
+    return out;
+}
+
+std::string
+SeriesWriter::renderCsv() const
+{
+    std::string out;
+    out += csvQuote(xName_);
     for (const auto &name : seriesNames_)
-        out += "," + name;
+        out += "," + csvQuote(name);
     out += "\n";
     char buf[32];
     for (const auto &[x, ys] : points_) {
-        out += x;
+        out += csvQuote(x);
         for (double y : ys) {
             std::snprintf(buf, sizeof(buf), "%.6g", y);
             out += ",";

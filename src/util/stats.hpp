@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace xmig {
 
 /** A simple monotonically increasing event counter. */
@@ -22,9 +24,38 @@ class Counter
   public:
     Counter() = default;
 
-    void inc(uint64_t n = 1) { count_ += n; }
+    void inc(uint64_t n = 1) { add(n); }
+
+    /**
+     * Add `n` events. A 64-bit event counter wrapping means the run's
+     * totals are garbage, so the wrap is audited rather than silently
+     * reduced modulo 2^64.
+     */
+    void
+    add(uint64_t n)
+    {
+        XMIG_AUDIT(count_ + n >= count_,
+                   "event counter wrapped past 2^64 (was %llu, "
+                   "adding %llu)",
+                   (unsigned long long)count_, (unsigned long long)n);
+        count_ += n;
+    }
+
     uint64_t value() const { return count_; }
     void reset() { count_ = 0; }
+
+    /**
+     * Read-and-zero in one step, for interval sampling: the sampler
+     * takes the per-interval delta without racing a separately
+     * maintained cumulative total.
+     */
+    uint64_t
+    snapshotAndReset()
+    {
+        const uint64_t v = count_;
+        count_ = 0;
+        return v;
+    }
 
   private:
     uint64_t count_ = 0;
@@ -45,6 +76,14 @@ std::string sizeLabel(uint64_t bytes);
 
 /** Format a ratio like Table 2's L2-miss reduction column (2 decimals). */
 std::string ratio2(double r);
+
+/**
+ * Quote a CSV cell per RFC 4180 when it needs it: cells containing a
+ * comma, double quote, whitespace or newline are wrapped in double
+ * quotes with inner quotes doubled, so emitted series load cleanly in
+ * pandas / gnuplot. Clean cells pass through untouched.
+ */
+std::string csvQuote(const std::string &cell);
 
 /**
  * Column-aligned ASCII table writer.
@@ -91,7 +130,14 @@ class SeriesWriter
 
     void addPoint(const std::string &x, const std::vector<double> &ys);
 
+    /** Render with an optional leading `# title` comment line. */
     std::string render(const std::string &title = "") const;
+
+    /**
+     * Render as machine-readable CSV: no title rule, every cell
+     * quoted/escaped as needed (csvQuote), ready for pandas/gnuplot.
+     */
+    std::string renderCsv() const;
 
   private:
     std::string xName_;

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * xmig-scope metrics registry (obs/registry.hpp) and the JSON helpers
+ * behind its exporters (obs/json.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace xmig::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, IntegralPrintsWithoutFraction)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(123456.0), "123456");
+    EXPECT_EQ(jsonNumber(-42.0), "-42");
+}
+
+TEST(JsonNumber, NonFiniteDegradesToNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonNumber, FractionalRoundTrips)
+{
+    const std::string s = jsonNumber(0.1);
+    EXPECT_DOUBLE_EQ(std::stod(s), 0.1);
+}
+
+TEST(JsonValidator, AcceptsWellFormedDocuments)
+{
+    EXPECT_TRUE(jsonParseOk("{}"));
+    EXPECT_TRUE(jsonParseOk("[]"));
+    EXPECT_TRUE(jsonParseOk("{\"a\":[1,2.5,-3e4,null,true,\"x\"]}"));
+    EXPECT_TRUE(jsonParseOk("  {\"nested\":{\"deep\":[{}]}}  "));
+}
+
+TEST(JsonValidator, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(jsonParseOk(""));
+    EXPECT_FALSE(jsonParseOk("{"));
+    EXPECT_FALSE(jsonParseOk("{\"a\":}"));
+    EXPECT_FALSE(jsonParseOk("[1,]"));
+    EXPECT_FALSE(jsonParseOk("{\"a\":1}{\"b\":2}")); // trailing junk
+    EXPECT_FALSE(jsonParseOk("{\"unterminated"));
+    EXPECT_FALSE(jsonParseOk("{'a':1}"));
+}
+
+TEST(Registry, RegistersAndReadsEveryKind)
+{
+    MetricsRegistry r;
+    uint64_t counter = 7;
+    Histogram h;
+    h.record(0);
+    h.record(5);
+    double gauge_value = 1.5;
+
+    EXPECT_TRUE(r.addCounter("m.counter", &counter));
+    EXPECT_TRUE(r.addGauge("m.gauge", [&] { return gauge_value; }));
+    EXPECT_TRUE(r.addHistogram("m.hist", &h));
+    EXPECT_EQ(r.size(), 3u);
+
+    EXPECT_EQ(r.kindOf("m.counter"), MetricKind::Counter);
+    EXPECT_EQ(r.kindOf("m.gauge"), MetricKind::Gauge);
+    EXPECT_EQ(r.kindOf("m.hist"), MetricKind::Histogram);
+    EXPECT_EQ(r.kindOf("m.missing"), std::nullopt);
+
+    EXPECT_EQ(r.value("m.counter"), 7.0);
+    counter = 9; // registry holds a pointer, not a copy
+    EXPECT_EQ(r.value("m.counter"), 9.0);
+    EXPECT_EQ(r.value("m.gauge"), 1.5);
+    gauge_value = 2.0; // gauges re-run their closure
+    EXPECT_EQ(r.value("m.gauge"), 2.0);
+    EXPECT_EQ(r.value("m.hist"), 2.0); // sample count
+    EXPECT_EQ(r.value("m.missing"), std::nullopt);
+}
+
+TEST(Registry, DuplicatePathsAreRefusedNotAliased)
+{
+    MetricsRegistry r;
+    uint64_t a = 1, b = 2;
+    EXPECT_TRUE(r.addCounter("dup", &a));
+    EXPECT_FALSE(r.addCounter("dup", &b));
+    EXPECT_FALSE(r.addGauge("dup", [] { return 3.0; }));
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.value("dup"), 1.0); // first registration wins
+}
+
+TEST(Registry, JsonlIsSortedAndEveryLineParses)
+{
+    MetricsRegistry r;
+    uint64_t c = 12;
+    Histogram h;
+    h.record(3);
+    r.addGauge("z.last", [] { return 0.5; });
+    r.addCounter("a.first", &c);
+    r.addHistogram("m.mid", &h);
+
+    const std::string jsonl = r.renderJsonl();
+    std::istringstream lines(jsonl);
+    std::string line;
+    std::vector<std::string> seen;
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(jsonParseOk(line)) << line;
+        seen.push_back(line);
+    }
+    ASSERT_EQ(seen.size(), 3u);
+    // Sorted by name regardless of registration order.
+    EXPECT_NE(seen[0].find("\"a.first\""), std::string::npos);
+    EXPECT_NE(seen[1].find("\"m.mid\""), std::string::npos);
+    EXPECT_NE(seen[2].find("\"z.last\""), std::string::npos);
+
+    EXPECT_EQ(seen[0],
+              "{\"name\":\"a.first\",\"kind\":\"counter\","
+              "\"value\":12}");
+    // Histograms carry their buckets; bucket 2 counts bit_width-2
+    // samples (2..3).
+    EXPECT_NE(seen[1].find("\"buckets\":[0,0,1"), std::string::npos);
+}
+
+TEST(Registry, CsvGolden)
+{
+    MetricsRegistry r;
+    uint64_t c = 3;
+    r.addCounter("plain.counter", &c);
+    r.addGauge("awkward, name", [] { return 1.0; });
+    EXPECT_EQ(r.renderCsv(),
+              "name,kind,value\n"
+              "\"awkward, name\",gauge,1\n"
+              "plain.counter,counter,3\n");
+}
+
+TEST(Registry, TableRenderMentionsEveryMetric)
+{
+    MetricsRegistry r;
+    uint64_t c = 5;
+    r.addCounter("machine.l2.misses", &c);
+    const std::string table = r.renderTable("run metrics");
+    EXPECT_NE(table.find("run metrics"), std::string::npos);
+    EXPECT_NE(table.find("machine.l2.misses"), std::string::npos);
+    EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+TEST(Registry, WriteJsonlRoundTripsThroughDisk)
+{
+    MetricsRegistry r;
+    uint64_t c = 77;
+    r.addCounter("disk.counter", &c);
+    const std::string path =
+        testing::TempDir() + "xmig_obs_registry_test.jsonl";
+    ASSERT_TRUE(r.writeJsonl(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), r.renderJsonl());
+}
+
+TEST(Registry, WriteToUnwritablePathFails)
+{
+    MetricsRegistry r;
+    uint64_t c = 1;
+    r.addCounter("c", &c);
+    EXPECT_FALSE(r.writeJsonl("/nonexistent-dir/metrics.jsonl"));
+}
+
+TEST(Histogram, BucketsByBitWidth)
+{
+    Histogram h(8);
+    h.record(0); // bucket 0
+    h.record(1); // bucket 1
+    h.record(2); // bucket 2
+    h.record(3); // bucket 2
+    h.record(200); // bucket 8 clamps to last (7)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 2u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.buckets()[2], 0u);
+}
+
+} // namespace
+} // namespace xmig::obs

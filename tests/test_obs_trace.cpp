@@ -1,0 +1,194 @@
+/**
+ * @file
+ * xmig-scope tracing (obs/trace.hpp) and profiling (obs/prof.hpp):
+ * every emitted trace document must parse as JSON, the macros must be
+ * free when no session is active, and the buffer limit must drop
+ * rather than grow.
+ *
+ * The Tracer is process-global state, so each test runs against a
+ * fresh start() and stop()s before leaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+namespace xmig::obs {
+namespace {
+
+std::string
+tempTracePath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return "";
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+class TraceTest : public testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        // Never leak an enabled session into the next test.
+        if (tracer().enabled())
+            tracer().stop();
+        tracer().setLimit(1'000'000);
+        std::remove(path_.c_str());
+    }
+
+    std::string path_ = tempTracePath("xmig_trace_test.json");
+};
+
+TEST_F(TraceTest, DisabledMacrosEmitNothing)
+{
+    ASSERT_FALSE(tracer().enabled());
+    const size_t before = tracer().events();
+    XMIG_TRACE("cat", "event", {{"k", 1}});
+    XMIG_TRACE("cat", "note_event", "a note");
+    XMIG_TRACE_COUNTER("cat", "ctr", 5);
+    XMIG_TRACE_CLOCK(123);
+    EXPECT_EQ(tracer().events(), before);
+}
+
+TEST_F(TraceTest, RenderedDocumentParsesAndCarriesEvents)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (-DXMIG_TRACE=OFF)";
+    tracer().start(path_);
+    XMIG_TRACE_CLOCK(100);
+    XMIG_TRACE("migration", "migrate",
+               {{"from", 0}, {"to", 2}, {"line", 0xdeadbeef}});
+    XMIG_TRACE("shadow", "disarm", "A_R saturated \"hard\"");
+    XMIG_TRACE_COUNTER("machine", "active_core", 2);
+
+    EXPECT_EQ(tracer().events(), 3u);
+    const std::string doc = tracer().renderJson();
+    EXPECT_TRUE(jsonParseOk(doc)) << doc;
+    // The simulated-time clock stamps every event.
+    EXPECT_NE(doc.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(doc.find("\"migrate\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    // Escaping survived into the note argument.
+    EXPECT_NE(doc.find("A_R saturated \\\"hard\\\""),
+              std::string::npos);
+    tracer().stop();
+}
+
+TEST_F(TraceTest, StopWritesTheFileAndDisables)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (-DXMIG_TRACE=OFF)";
+    tracer().start(path_);
+    XMIG_TRACE("cat", "only_event", {{"v", 7}});
+    tracer().stop();
+    EXPECT_FALSE(tracer().enabled());
+
+    const std::string doc = slurp(path_);
+    ASSERT_FALSE(doc.empty());
+    EXPECT_TRUE(jsonParseOk(doc));
+    EXPECT_NE(doc.find("\"only_event\""), std::string::npos);
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"droppedEvents\":0"), std::string::npos);
+
+    // A stopped tracer records nothing further.
+    XMIG_TRACE("cat", "late", {{"v", 1}});
+    EXPECT_EQ(tracer().events(), 0u);
+}
+
+TEST_F(TraceTest, BufferLimitDropsAndCounts)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (-DXMIG_TRACE=OFF)";
+    tracer().start(path_);
+    tracer().setLimit(3);
+    for (int i = 0; i < 10; ++i)
+        XMIG_TRACE("cat", "e", {{"i", i}});
+    EXPECT_EQ(tracer().events(), 3u);
+    EXPECT_EQ(tracer().dropped(), 7u);
+    const std::string doc = tracer().renderJson();
+    EXPECT_TRUE(jsonParseOk(doc));
+    EXPECT_NE(doc.find("\"droppedEvents\":7"), std::string::npos);
+    tracer().stop();
+}
+
+TEST_F(TraceTest, EmptySessionStillRendersValidJson)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (-DXMIG_TRACE=OFF)";
+    tracer().start(path_);
+    const std::string doc = tracer().renderJson();
+    EXPECT_TRUE(jsonParseOk(doc));
+    // Only the two process_name metadata records are present.
+    EXPECT_NE(doc.find("simulated time"), std::string::npos);
+    EXPECT_NE(doc.find("wall clock"), std::string::npos);
+    tracer().stop();
+}
+
+TEST(Prof, ScopesAccumulateSelfAndTotal)
+{
+    ProfileRegistry::instance().reset();
+    {
+        XMIG_PROF_SCOPE("outer");
+        {
+            XMIG_PROF_SCOPE("inner");
+        }
+        {
+            XMIG_PROF_SCOPE("inner");
+        }
+    }
+    const ProfEntry *outer = ProfileRegistry::instance().find("outer");
+    const ProfEntry *inner = ProfileRegistry::instance().find("inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->calls, 1u);
+    EXPECT_EQ(inner->calls, 2u);
+    // The inner scopes' time is the outer scope's child time.
+    EXPECT_GE(outer->totalNs, outer->childNs);
+    EXPECT_GE(outer->childNs, inner->totalNs);
+    EXPECT_EQ(outer->selfNs(), outer->totalNs - outer->childNs);
+
+    const std::string report = ProfileRegistry::instance().report();
+    EXPECT_NE(report.find("outer"), std::string::npos);
+    EXPECT_NE(report.find("inner"), std::string::npos);
+    ProfileRegistry::instance().reset();
+    EXPECT_TRUE(ProfileRegistry::instance().entries().empty());
+}
+
+TEST(Prof, ScopesLandInActiveTraceOnWallClockPid)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (-DXMIG_TRACE=OFF)";
+    const std::string path = tempTracePath("xmig_trace_prof.json");
+    tracer().start(path);
+    {
+        XMIG_PROF_SCOPE("traced_phase");
+    }
+    const std::string doc = tracer().renderJson();
+    EXPECT_TRUE(jsonParseOk(doc));
+    EXPECT_NE(doc.find("\"traced_phase\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":1"), std::string::npos);
+    tracer().stop();
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace xmig::obs

@@ -84,12 +84,58 @@ TEST(Counter, IncrementAndReset)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(Counter, SnapshotAndResetDrains)
+{
+    Counter c;
+    c.add(7);
+    EXPECT_EQ(c.snapshotAndReset(), 7u);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.snapshotAndReset(), 0u);
+    c.inc();
+    EXPECT_EQ(c.snapshotAndReset(), 1u);
+}
+
+TEST(CounterDeathTest, WrapPastMaxIsAudited)
+{
+    if (!kAuditCheap)
+        GTEST_SKIP() << "audits compiled out at level " << kAuditLevel;
+    Counter c;
+    c.add(UINT64_MAX);
+    EXPECT_DEATH(c.add(1), "counter wrapped");
+}
+
 TEST(PerEvent, FormatsLikeTable2)
 {
     EXPECT_EQ(perEvent(1000, 0), "inf");
     EXPECT_EQ(perEvent(640, 10), "64");
     EXPECT_EQ(perEvent(1000000000, 455), "2.2e6");
     EXPECT_EQ(perEvent(1000000000, 71), "1.4e7");
+}
+
+TEST(PerEvent, ZeroOverZeroIsZeroNotInf)
+{
+    // An empty run never retired an instruction either; reporting
+    // "inf" would read as "event never occurs", which is unknowable.
+    EXPECT_EQ(perEvent(0, 0), "0");
+    EXPECT_EQ(perEvent(1, 0), "inf");
+    EXPECT_EQ(perEvent(0, 5), "0");
+}
+
+TEST(PerEvent, AbbreviationBoundaryRounds)
+{
+    // Below the threshold: plain integers, rounded.
+    EXPECT_EQ(perEvent(99999, 1), "99999");
+    EXPECT_EQ(perEvent(199998, 2), "99999");
+    // At and above: abbreviated power-of-ten form. 99999.5 rounds to
+    // 100000, so it must abbreviate (and the mantissa carry makes it
+    // 1.0e5, never the six-digit "100000" or "10.0e4").
+    EXPECT_EQ(perEvent(199999, 2), "1.0e5");
+    EXPECT_EQ(perEvent(100000, 1), "1.0e5");
+
+    // Mantissa 9.96 must carry into the exponent, not print 10.0e5.
+    EXPECT_EQ(perEvent(996000, 1), "1.0e6");
+    EXPECT_EQ(perEvent(9960000, 1), "1.0e7");
+    EXPECT_EQ(perEvent(994000, 1), "9.9e5");
 }
 
 TEST(Frequency, FourDecimals)
@@ -135,6 +181,41 @@ TEST(SeriesWriter, CsvShape)
     const std::string out = s.render();
     EXPECT_NE(out.find("x,a,b"), std::string::npos);
     EXPECT_NE(out.find("16k,0.5,0.25"), std::string::npos);
+}
+
+TEST(SeriesWriter, RenderCsvOmitsTitleRule)
+{
+    SeriesWriter s("size", {"ratio"});
+    s.addPoint("64k", {1.5});
+    // render() may carry a '# title' comment; renderCsv() never does.
+    const std::string titled = s.render("figure 4");
+    EXPECT_EQ(titled.find("# figure 4"), 0u);
+    const std::string csv = s.renderCsv();
+    EXPECT_EQ(csv.find('#'), std::string::npos);
+    EXPECT_EQ(csv, "size,ratio\n64k,1.5\n");
+    // And render() without a title is exactly the CSV.
+    EXPECT_EQ(s.render(), csv);
+}
+
+TEST(SeriesWriter, QuotesAwkwardCells)
+{
+    SeriesWriter s("benchmark, suite", {"miss \"ratio\""});
+    s.addPoint("179.art, SPEC", {0.03});
+    const std::string csv = s.renderCsv();
+    EXPECT_NE(csv.find("\"benchmark, suite\",\"miss \"\"ratio\"\"\""),
+              std::string::npos);
+    EXPECT_NE(csv.find("\"179.art, SPEC\",0.03"), std::string::npos);
+}
+
+TEST(CsvQuote, Rfc4180Rules)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote("1.25e6"), "1.25e6");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("two words"), "\"two words\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvQuote(""), "");
 }
 
 } // namespace
