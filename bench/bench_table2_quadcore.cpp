@@ -43,6 +43,9 @@ main(int argc, char **argv)
     params.instructionsPerBenchmark = opt.instructions;
     params.warmupInstructions = opt.warmup;
     params.seed = opt.seed;
+    // Faults apply to the migration machine only; the single-core
+    // baseline stays a clean reference (see runQuadcore).
+    params.machine.faultPlan = opt.faultPlan;
 
     const auto &names =
         opt.benchmarks.empty() ? allWorkloadNames() : opt.benchmarks;

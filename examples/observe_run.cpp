@@ -56,6 +56,7 @@ main(int argc, char **argv)
     params.instructionsPerBenchmark = opt.instructions;
     params.warmupInstructions = opt.warmup;
     params.seed = opt.seed;
+    params.machine.faultPlan = opt.faultPlan;
 
     RunObservatory observatory(observeOptionsOf(opt));
     const QuadcoreRow row = runQuadcore(bench, params, &observatory);

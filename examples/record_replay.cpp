@@ -19,6 +19,7 @@
 
 #include "mem/trace_io.hpp"
 #include "multicore/machine.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
 
@@ -81,6 +82,9 @@ main(int argc, char **argv)
         MigrationMachine machine(variant.config);
         TraceReader reader(path);
         reader.replay(machine);
+        if (!reader.ok())
+            XMIG_FATAL("trace replay failed: %s",
+                       reader.status().message.c_str());
         char migs[24];
         std::snprintf(migs, sizeof(migs), "%llu",
                       (unsigned long long)machine.stats().migrations);

@@ -1,5 +1,7 @@
 #include "cache/cache.hpp"
 
+#include <vector>
+
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -123,6 +125,23 @@ bool
 Cache::invalidate(uint64_t line)
 {
     return tags_->invalidate(line);
+}
+
+uint64_t
+Cache::invalidateAll()
+{
+    // Collect first: invalidating while iterating the tag store is
+    // undefined for both backings.
+    std::vector<uint64_t> lines;
+    uint64_t dirty = 0;
+    tags_->forEachValid([&](const CacheEntry &e) {
+        lines.push_back(e.line);
+        if (e.modified)
+            ++dirty;
+    });
+    for (uint64_t line : lines)
+        tags_->invalidate(line);
+    return dirty;
 }
 
 } // namespace xmig

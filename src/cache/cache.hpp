@@ -102,6 +102,13 @@ class Cache
     /** Remove `line` if resident. */
     bool invalidate(uint64_t line);
 
+    /**
+     * Drop every resident line (hot-unplug: the contents are lost,
+     * nothing is written back). Returns the number of *modified*
+     * lines discarded — data that existed nowhere else.
+     */
+    uint64_t invalidateAll();
+
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = {}; }
 

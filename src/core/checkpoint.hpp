@@ -1,0 +1,48 @@
+/**
+ * @file
+ * xmig-iron checkpoint records for the affinity control plane.
+ *
+ * A checkpoint captures the *architectural* state of the splitting
+ * mechanism — Delta, A_R, sum(I_e), the R-window contents (oldest
+ * first) and the O_e store — plus enough counters to keep the
+ * cross-layer audits coherent after a restore. Micro-architectural
+ * state that only shapes timing (L1 contents, cache replacement ages,
+ * CacheStats) is deliberately *not* part of a checkpoint: restoring
+ * models a crash-recovery reboot with cold caches, so a restored run
+ * is control-plane-exact but not cycle-identical for finite caches.
+ *
+ * Checkpoints are plain in-memory value types; serialization to disk
+ * is out of scope (the crash-recovery tests restore within one
+ * process).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oe_store.hpp"
+#include "core/rwindow.hpp"
+
+namespace xmig {
+
+/** Architectural state of one AffinityEngine. */
+struct EngineCheckpoint
+{
+    int64_t delta = 0;
+    int64_t windowAffinity = 0;
+    int64_t sumIe = 0;          ///< ArKind::Exact running sum
+    uint64_t references = 0;
+    /** R-window contents, oldest first. */
+    std::vector<WindowSlot> window;
+};
+
+/** State of one TransitionFilter. */
+struct FilterCheckpoint
+{
+    int64_t value = 0;
+    uint64_t transitions = 0;
+    uint64_t updates = 0;
+};
+
+} // namespace xmig

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "core/shadow_audit.hpp"
+#include "fault/fault_injector.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -198,9 +199,78 @@ AffinityEngine::reference(uint64_t line)
 
     auditWindowSum(members);
 
+    if constexpr (kFaultEnabled) {
+        if (config_.faults)
+            injectSoftErrors(out);
+    }
+
     if (shadow_)
         shadow_->onReference(line, *this, out.ae);
     return out;
+}
+
+void
+AffinityEngine::injectSoftErrors(RefOutcome &out)
+{
+    FaultInjector &fi = *config_.faults;
+    bool injected = false;
+    if (fi.armedFor(FaultSite::Ae) && fi.draw(FaultSite::Ae)) {
+        // Transient: corrupts this reference's A_e on the way to the
+        // transition filter; engine-internal state is untouched.
+        out.ae = fi.flipBit(out.ae, config_.affinityBits);
+        injected = true;
+    }
+    if (fi.armedFor(FaultSite::Delta) && fi.draw(FaultSite::Delta)) {
+        // Persistent until the +/-1 walk re-converges.
+        delta_.set(fi.flipBit(delta_.get(), config_.affinityBits + 1));
+        injected = true;
+    }
+    if (fi.armedFor(FaultSite::Ar) && fi.draw(FaultSite::Ar)) {
+        // In ArKind::Exact the register is recomputed from sum(I_e)
+        // next reference, so the flip self-heals after one Delta step;
+        // in ArKind::Figure2 the corruption persists in the recurrence.
+        windowAffinity_.set(
+            fi.flipBit(windowAffinity_.get(), windowAffinity_.bits()));
+        injected = true;
+    }
+    if (injected && shadow_)
+        shadow_->disarm("injected soft error");
+}
+
+void
+AffinityEngine::disarmShadow(const char *reason)
+{
+    if (shadow_)
+        shadow_->disarm(reason);
+}
+
+EngineCheckpoint
+AffinityEngine::checkpoint() const
+{
+    EngineCheckpoint c;
+    c.delta = delta_.get();
+    c.windowAffinity = windowAffinity_.get();
+    c.sumIe = sumIe_;
+    c.references = references_;
+    if (config_.window == WindowKind::Fifo)
+        fifo_->snapshot(c.window);
+    else
+        lru_->snapshot(c.window);
+    return c;
+}
+
+void
+AffinityEngine::restore(const EngineCheckpoint &ckpt)
+{
+    delta_.set(ckpt.delta);
+    windowAffinity_.set(ckpt.windowAffinity);
+    sumIe_ = ckpt.sumIe;
+    references_ = ckpt.references;
+    if (config_.window == WindowKind::Fifo)
+        fifo_->restore(ckpt.window);
+    else
+        lru_->restore(ckpt.window);
+    disarmShadow("state restored from checkpoint");
 }
 
 std::optional<int64_t>

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/oe_store.hpp"
 #include "core/rwindow.hpp"
 #include "util/saturating.hpp"
@@ -32,6 +33,7 @@ class MetricsRegistry;
 
 namespace xmig {
 
+class FaultInjector;
 class ShadowAudit;
 
 /** Whether an engine runs the shadow-model oracle (shadow_audit.hpp). */
@@ -78,6 +80,14 @@ struct EngineConfig
 
     /** Diagnostic tag naming this engine in shadow-audit messages. */
     const char *shadowTag = "engine";
+
+    /**
+     * xmig-iron soft-error hook: when non-null and the plan targets
+     * Ae / Delta / Ar, reference() may flip a bit of the respective
+     * register after the normal update. Null (the default) costs one
+     * predictable branch; -DXMIG_FAULT=OFF removes the hook entirely.
+     */
+    FaultInjector *faults = nullptr;
 };
 
 /** Result of processing one reference. */
@@ -127,6 +137,26 @@ class AffinityEngine
     const ShadowAudit *shadow() const { return shadow_.get(); }
 
     /**
+     * Disarm the shadow oracle with a reason (no-op when off or
+     * already disarmed). Used when an *external* actor knowingly
+     * departs from the reference model: injected store corruption,
+     * state restored from a checkpoint.
+     */
+    void disarmShadow(const char *reason);
+
+    /** Capture the architectural engine state (checkpoint.hpp). */
+    EngineCheckpoint checkpoint() const;
+
+    /**
+     * Restore a checkpoint taken from an engine with the same config.
+     * The shadow oracle, if armed, is disarmed: its lockstep history
+     * no longer matches. The checkpoint is trusted — a tampered
+     * sumIe is *not* revalidated here, the paranoid A_R-drift audit
+     * catches it on the next reference.
+     */
+    void restore(const EngineCheckpoint &ckpt);
+
+    /**
      * Register this engine's live state under `prefix` (xmig-scope):
      * `<prefix>.references`, `.delta`, `.window_affinity`,
      * `.window_occupancy`. The engine must outlive the registry's
@@ -140,6 +170,9 @@ class AffinityEngine
 
     /** O(|R|) paranoid check that the cached sum(I_e) has not drifted. */
     void auditWindowSum(size_t members) const;
+
+    /** Apply armed Ae/Delta/Ar bit flips to this reference's outcome. */
+    void injectSoftErrors(RefOutcome &out);
 
     EngineConfig config_;
     OeStore &store_;

@@ -28,6 +28,7 @@ KWaySplitter::KWaySplitter(const Config &config, OeStore &store)
             ec.shadowDeepCheckEvery = config.shadowDeepCheckEvery;
             ec.shadowTag = "root";
         }
+        ec.faults = config.faults;
         Node node;
         node.engine = std::make_unique<AffinityEngine>(ec, store);
         node.filter =
@@ -94,6 +95,38 @@ KWaySplitter::onReference(uint64_t line, bool update_filter)
     if (out.transition)
         ++transitions_;
     return out;
+}
+
+void
+KWaySplitter::resetFilters()
+{
+    for (Node &node : nodes_)
+        node.filter->reset();
+}
+
+void
+KWaySplitter::checkpoint(std::vector<EngineCheckpoint> &engines,
+                         std::vector<FilterCheckpoint> &filters) const
+{
+    for (const Node &node : nodes_) {
+        engines.push_back(node.engine->checkpoint());
+        filters.push_back(checkpointFilter(*node.filter));
+    }
+}
+
+void
+KWaySplitter::restore(const std::vector<EngineCheckpoint> &engines,
+                      const std::vector<FilterCheckpoint> &filters)
+{
+    XMIG_ASSERT(engines.size() == nodes_.size() &&
+                    filters.size() == nodes_.size(),
+                "k-way checkpoint holds %zu engines / %zu filters for "
+                "%zu nodes",
+                engines.size(), filters.size(), nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i].engine->restore(engines[i]);
+        restoreFilter(*nodes_[i].filter, filters[i]);
+    }
 }
 
 } // namespace xmig

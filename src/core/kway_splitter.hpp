@@ -55,6 +55,9 @@ class KWaySplitter
          */
         ShadowMode shadow = ShadowMode::Off;
         uint64_t shadowDeepCheckEvery = 4096;
+
+        /** Soft-error hook shared by all tree nodes (xmig-iron). */
+        FaultInjector *faults = nullptr;
     };
 
     KWaySplitter(const Config &config, OeStore &store);
@@ -73,12 +76,24 @@ class KWaySplitter
 
     /** Root mechanism (the only shadow-auditable one; see Config). */
     const AffinityEngine &rootEngine() const { return *nodes_[0].engine; }
+    AffinityEngine &rootEngine() { return *nodes_[0].engine; }
 
     /** Root transition filter (the whole-working-set split). */
     const TransitionFilter &rootFilter() const
     {
         return *nodes_[0].filter;
     }
+
+    /** Zero every node's filter (watchdog re-initialization). */
+    void resetFilters();
+
+    /** Append engine/filter state in heap (tree-index) order. */
+    void checkpoint(std::vector<EngineCheckpoint> &engines,
+                    std::vector<FilterCheckpoint> &filters) const;
+
+    /** Restore state captured by checkpoint() (sizes must match). */
+    void restore(const std::vector<EngineCheckpoint> &engines,
+                 const std::vector<FilterCheckpoint> &filters);
 
     /** Register every tree node's mechanism under `prefix`. */
     void registerMetrics(obs::MetricsRegistry &registry,

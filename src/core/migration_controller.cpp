@@ -1,32 +1,55 @@
 #include "core/migration_controller.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cstdint>
 
+#include "fault/fault_injector.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/logging.hpp"
 
 namespace xmig {
 
 MigrationController::MigrationController(
     const MigrationControllerConfig &config)
-    : config_(config)
+    : config_(config), watchdog_(config.watchdog)
 {
     XMIG_ASSERT(config.numCores >= 2 && config.numCores <= 64 &&
                 (config.numCores & (config.numCores - 1)) == 0,
                 "splitting needs a power-of-two core count in [2, 64], "
                 "not %u", config.numCores);
 
+    liveMask_ = config_.numCores == 64
+        ? ~uint64_t{0}
+        : (uint64_t{1} << config_.numCores) - 1;
+    splitWays_ = config_.numCores;
+    backoff_ = config_.retry.backoffBase;
+
+    store_ = makeStore();
+    buildSplitter(splitWays_);
+    recomputeMapping();
+}
+
+std::unique_ptr<OeStore>
+MigrationController::makeStore() const
+{
     if (config_.boundedStore) {
         AffinityCacheConfig ac = config_.affinityCache;
         ac.affinityBits = config_.affinityBits;
-        store_ = std::make_unique<AffinityCacheStore>(ac);
-    } else {
-        store_ = std::make_unique<UnboundedOeStore>(config_.affinityBits);
+        return std::make_unique<AffinityCacheStore>(ac);
     }
+    return std::make_unique<UnboundedOeStore>(config_.affinityBits);
+}
 
+void
+MigrationController::buildSplitter(unsigned ways)
+{
+    XMIG_ASSERT(ways >= 2 && (ways & (ways - 1)) == 0,
+                "cannot build a %u-way splitter", ways);
     const ShadowMode shadow =
         config_.shadowAudit ? ShadowMode::Armed : ShadowMode::Off;
-    if (config_.numCores == 2) {
+    if (ways == 2) {
         TwoWaySplitter::Config sc;
         sc.engine.affinityBits = config_.affinityBits;
         sc.engine.windowSize = config_.windowX;
@@ -35,10 +58,11 @@ MigrationController::MigrationController(
         sc.engine.shadow = shadow;
         sc.engine.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
         sc.engine.shadowTag = "X";
+        sc.engine.faults = config_.faults;
         sc.filterBits = config_.filterBits;
         sc.samplingCutoff = config_.samplingCutoff;
         two_ = std::make_unique<TwoWaySplitter>(sc, *store_);
-    } else if (config_.numCores == 4) {
+    } else if (ways == 4) {
         FourWaySplitter::Config sc;
         sc.affinityBits = config_.affinityBits;
         sc.windowX = config_.windowX;
@@ -49,11 +73,11 @@ MigrationController::MigrationController(
         sc.samplingCutoff = config_.samplingCutoff;
         sc.shadow = shadow;
         sc.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
+        sc.faults = config_.faults;
         four_ = std::make_unique<FourWaySplitter>(sc, *store_);
     } else {
         KWaySplitter::Config sc;
-        sc.depth = static_cast<unsigned>(
-            std::countr_zero(config_.numCores));
+        sc.depth = static_cast<unsigned>(std::countr_zero(ways));
         sc.affinityBits = config_.affinityBits;
         sc.rootWindow = config_.windowX;
         sc.window = config_.window;
@@ -62,8 +86,117 @@ MigrationController::MigrationController(
         sc.samplingCutoff = config_.samplingCutoff;
         sc.shadow = shadow;
         sc.shadowDeepCheckEvery = config_.shadowDeepCheckEvery;
+        sc.faults = config_.faults;
         kway_ = std::make_unique<KWaySplitter>(sc, *store_);
     }
+}
+
+void
+MigrationController::retireSplitter()
+{
+    if (two_)
+        retiredTwo_.push_back(std::move(two_));
+    if (four_)
+        retiredFour_.push_back(std::move(four_));
+    if (kway_)
+        retiredKway_.push_back(std::move(kway_));
+}
+
+void
+MigrationController::recomputeMapping()
+{
+    subsetToCore_.assign(splitWays_, 0);
+    unsigned s = 0;
+    for (unsigned c = 0; c < config_.numCores && s < splitWays_; ++c) {
+        if (liveMask_ >> c & 1)
+            subsetToCore_[s++] = c;
+    }
+    XMIG_ASSERT(s == splitWays_,
+                "only %u live cores for a %u-way split", s, splitWays_);
+}
+
+void
+MigrationController::applyTopology()
+{
+    const unsigned live =
+        static_cast<unsigned>(std::popcount(liveMask_));
+    unsigned ways = 1;
+    while (ways * 2 <= live)
+        ways *= 2;
+    ways = std::min(ways, config_.numCores);
+    if (ways != splitWays_) {
+        // The retired store's O_e values are relative to the retired
+        // engines' Delta registers, so the rebuilt splitter gets a
+        // fresh store and re-learns the working-set split. Retire, do
+        // not destroy: registered metric gauges hold references.
+        retireSplitter();
+        retiredStores_.push_back(std::move(store_));
+        store_ = makeStore();
+        splitWays_ = ways;
+        transitionsBase_ = stats_.transitions;
+        if (ways > 1)
+            buildSplitter(ways);
+        ++recovery_.resplits;
+        XMIG_TRACE("fault", "resplit",
+                   {{"ways", ways}, {"live_cores", live}});
+    }
+    recomputeMapping();
+}
+
+unsigned
+MigrationController::liveCores() const
+{
+    return static_cast<unsigned>(std::popcount(liveMask_));
+}
+
+unsigned
+MigrationController::coreForSubset(unsigned subset) const
+{
+    XMIG_ASSERT(subset < subsetToCore_.size(),
+                "subset %u of %zu", subset, subsetToCore_.size());
+    return subsetToCore_[subset];
+}
+
+void
+MigrationController::setCoreOffline(unsigned core)
+{
+    if (core >= config_.numCores || !(liveMask_ >> core & 1)) {
+        XMIG_WARN("core_off for core %u ignored (unknown or already "
+                  "offline)", core);
+        return;
+    }
+    if (std::popcount(liveMask_) == 1) {
+        XMIG_WARN("refusing to take the last live core %u offline", core);
+        return;
+    }
+    liveMask_ &= ~(uint64_t{1} << core);
+    ++recovery_.coresLost;
+    if (pendingValid_ && pendingTarget_ == core)
+        pendingValid_ = false; // in-flight target vanished
+    if (activeCore_ == core) {
+        // The execution's host died: restart on the lowest live core.
+        const unsigned refuge =
+            static_cast<unsigned>(std::countr_zero(liveMask_));
+        XMIG_TRACE("fault", "forced_migration",
+                   {{"from", core}, {"to", refuge}});
+        activeCore_ = refuge;
+        ++stats_.migrations;
+        ++recovery_.forcedMigrations;
+    }
+    applyTopology();
+}
+
+void
+MigrationController::setCoreOnline(unsigned core)
+{
+    if (core >= config_.numCores || (liveMask_ >> core & 1)) {
+        XMIG_WARN("core_on for core %u ignored (unknown or already "
+                  "online)", core);
+        return;
+    }
+    liveMask_ |= uint64_t{1} << core;
+    ++recovery_.coresJoined;
+    applyTopology();
 }
 
 unsigned
@@ -73,7 +206,133 @@ MigrationController::subset() const
         return two_->subset();
     if (four_)
         return four_->subset();
-    return kway_->subset();
+    if (kway_)
+        return kway_->subset();
+    return 0;
+}
+
+void
+MigrationController::injectStoreFaults()
+{
+    FaultInjector &fi = *config_.faults;
+    if (fi.armedFor(FaultSite::OeEntry) && fi.draw(FaultSite::OeEntry) &&
+        store_->corruptRandomEntry(fi.rng())) {
+        ++recovery_.storeCorruptions;
+        disarmRootShadow("injected O_e corruption");
+    }
+    if (fi.armedFor(FaultSite::CacheTag) &&
+        fi.draw(FaultSite::CacheTag) &&
+        store_->dropRandomEntry(fi.rng())) {
+        ++recovery_.storeDrops;
+        disarmRootShadow("injected affinity-cache tag corruption");
+    }
+}
+
+void
+MigrationController::disarmRootShadow(const char *reason)
+{
+    if (two_)
+        two_->engine().disarmShadow(reason);
+    else if (four_)
+        four_->engineX().disarmShadow(reason);
+    else if (kway_)
+        kway_->rootEngine().disarmShadow(reason);
+}
+
+void
+MigrationController::serviceMigrationFabric(uint64_t now)
+{
+    if (!pendingValid_)
+        return;
+    if (now >= pendingDue_) {
+        // Delivery: the fabric acknowledged the (delayed) request.
+        const unsigned target = pendingTarget_;
+        pendingValid_ = false;
+        if (liveMask_ >> target & 1)
+            completeMigration(target, now);
+        return;
+    }
+    if (now - pendingIssued_ >= config_.retry.timeoutRequests) {
+        // Lost (dropped, or delayed past the timeout): back off and
+        // let the next divergent decision re-issue.
+        pendingValid_ = false;
+        ++recovery_.migTimeouts;
+        nextIssueAllowed_ = now + backoff_;
+        backoff_ = std::min(backoff_ * 2, config_.retry.backoffCap);
+        retryPending_ = true;
+        XMIG_TRACE("fault", "migration_timeout",
+                   {{"target", pendingTarget_},
+                    {"backoff", backoff_}});
+    }
+}
+
+void
+MigrationController::requestMigration(unsigned target, uint64_t now)
+{
+    if (watchdog_.enabled() && !watchdog_.migrationAllowed(now))
+        return;
+
+    bool fabric_faulty = false;
+    if constexpr (kFaultEnabled) {
+        fabric_faulty = config_.faults &&
+            (config_.faults->armedFor(FaultSite::MigDrop) ||
+             config_.faults->armedFor(FaultSite::MigDelay));
+    }
+    if (!fabric_faulty) {
+        // Ideal fabric: the classic instantaneous migration.
+        completeMigration(target, now);
+        return;
+    }
+
+    if (pendingValid_) {
+        if (pendingTarget_ == target)
+            return; // already in flight
+        pendingValid_ = false; // superseded by a new target
+    }
+    if (now < nextIssueAllowed_)
+        return; // backing off after a timeout
+    if (retryPending_) {
+        ++recovery_.migRetries;
+        retryPending_ = false;
+    }
+
+    FaultInjector &fi = *config_.faults;
+    if (fi.armedFor(FaultSite::MigDrop) && fi.draw(FaultSite::MigDrop)) {
+        // Silently lost: only the timeout will notice.
+        pendingValid_ = true;
+        pendingTarget_ = target;
+        pendingIssued_ = now;
+        pendingDue_ = UINT64_MAX;
+        ++recovery_.migDropped;
+        return;
+    }
+    if (fi.armedFor(FaultSite::MigDelay) &&
+        fi.draw(FaultSite::MigDelay)) {
+        pendingValid_ = true;
+        pendingTarget_ = target;
+        pendingIssued_ = now;
+        pendingDue_ = now + fi.migrationDelay();
+        ++recovery_.migDelayed;
+        return;
+    }
+    completeMigration(target, now);
+}
+
+void
+MigrationController::completeMigration(unsigned target, uint64_t now)
+{
+    XMIG_ASSERT(liveMask_ >> target & 1,
+                "migration to offline core %u", target);
+    ++stats_.migrations;
+    XMIG_TRACE("migration", "migrate",
+               {{"from", activeCore_},
+                {"to", target},
+                {"n", stats_.migrations}});
+    activeCore_ = target;
+    pendingValid_ = false;
+    backoff_ = config_.retry.backoffBase;
+    nextIssueAllowed_ = 0;
+    watchdog_.onMigration(now);
 }
 
 unsigned
@@ -81,6 +340,20 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
                                bool pointer_load)
 {
     ++stats_.requests;
+    const uint64_t now = stats_.requests;
+
+    if constexpr (kFaultEnabled) {
+        if (config_.faults)
+            injectStoreFaults();
+    }
+
+    if (splitWays_ <= 1) {
+        // Lone survivor: nothing left to split, execution is pinned.
+        return activeCore_;
+    }
+
+    serviceMigrationFabric(now);
+
     const bool update_filter =
         (!config_.l2Filtering || l2_miss) &&
         (!config_.pointerLoadFilter || pointer_load);
@@ -96,31 +369,58 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
         ++stats_.transitions;
 
     // Controller state-transition invariants: the splitter may only
-    // name a real core, the subset can only move when the filters
-    // were allowed to move, and a migration is exactly a subset
-    // change relative to the current placement.
-    XMIG_AUDIT(decision.subset < config_.numCores,
-               "splitter chose subset %u of %u cores", decision.subset,
-               config_.numCores);
+    // name a real subset, and the subset can only move when the
+    // filters were allowed to move.
+    XMIG_AUDIT(decision.subset < splitWays_,
+               "splitter chose subset %u of %u ways", decision.subset,
+               splitWays_);
     XMIG_AUDIT(update_filter || !decision.transition,
                "transition while the filter was frozen (L2/pointer "
                "filtering violated)");
-    if (decision.subset != activeCore_) {
-        ++stats_.migrations;
-        XMIG_TRACE("migration", "migrate",
-                   {{"from", activeCore_},
-                    {"to", decision.subset},
-                    {"line", line},
-                    {"n", stats_.migrations}});
-        activeCore_ = decision.subset;
+
+    if (watchdog_.enabled()) {
+        watchdog_.onRequest(now, rootFilter().saturated());
+        if (watchdog_.takeReinit()) {
+            resetFilters();
+            ++recovery_.filterReinits;
+            XMIG_TRACE("fault", "filter_reinit", {{"at", now}});
+        }
     }
-    XMIG_AUDIT(stats_.migrations <= stats_.transitions &&
-                   stats_.transitions == splitterTransitions(),
+
+    const unsigned desired = subsetToCore_[decision.subset];
+    XMIG_AUDIT(liveMask_ >> desired & 1,
+               "subset %u maps to offline core %u", decision.subset,
+               desired);
+    if (desired != activeCore_) {
+        requestMigration(desired, now);
+    } else if (pendingValid_) {
+        // The splitter reverted while the request was in flight;
+        // completing it now would migrate away from the right core.
+        pendingValid_ = false;
+    }
+
+    // A migration is (at most) a subset change relative to the
+    // current placement; recovery actions (forced migrations, filter
+    // re-inits, resplits) may each move the core once without a
+    // recorded splitter transition.
+    XMIG_AUDIT(stats_.transitions ==
+                   transitionsBase_ + splitterTransitions(),
+               "controller/splitter transition desync: %llu vs "
+               "%llu + %llu",
+               (unsigned long long)stats_.transitions,
+               (unsigned long long)transitionsBase_,
+               (unsigned long long)splitterTransitions());
+    XMIG_AUDIT(stats_.migrations <=
+                   stats_.transitions + recovery_.forcedMigrations +
+                       recovery_.filterReinits + recovery_.resplits,
                "controller statistics desync: %llu migrations, %llu "
-               "transitions, splitter says %llu",
+               "transitions (+%llu forced, %llu reinits, %llu "
+               "resplits)",
                (unsigned long long)stats_.migrations,
                (unsigned long long)stats_.transitions,
-               (unsigned long long)splitterTransitions());
+               (unsigned long long)recovery_.forcedMigrations,
+               (unsigned long long)recovery_.filterReinits,
+               (unsigned long long)recovery_.resplits);
     return activeCore_;
 }
 
@@ -131,7 +431,8 @@ MigrationController::affinityOf(uint64_t line) const
         return two_->engine().affinityOf(line);
     if (four_)
         return four_->engineX().affinityOf(line);
-    // The k-way tree shares one store; peek it directly.
+    // The k-way tree (and the splitterless degenerate state) share
+    // one store; peek it directly.
     return store_->peek(line);
 }
 
@@ -142,7 +443,9 @@ MigrationController::shadowAudit() const
         return two_->engine().shadow();
     if (four_)
         return four_->engineX().shadow();
-    return kway_->rootEngine().shadow();
+    if (kway_)
+        return kway_->rootEngine().shadow();
+    return nullptr;
 }
 
 const AffinityEngine &
@@ -152,6 +455,7 @@ MigrationController::rootEngine() const
         return two_->engine();
     if (four_)
         return four_->engineX();
+    XMIG_ASSERT(kway_ != nullptr, "no splitter (single live core)");
     return kway_->rootEngine();
 }
 
@@ -162,6 +466,7 @@ MigrationController::rootFilter() const
         return two_->filter();
     if (four_)
         return four_->filterX();
+    XMIG_ASSERT(kway_ != nullptr, "no splitter (single live core)");
     return kway_->rootFilter();
 }
 
@@ -172,7 +477,77 @@ MigrationController::splitterTransitions() const
         return two_->transitions();
     if (four_)
         return four_->transitions();
-    return kway_->transitions();
+    if (kway_)
+        return kway_->transitions();
+    return 0;
+}
+
+void
+MigrationController::resetFilters()
+{
+    if (two_)
+        two_->resetFilters();
+    else if (four_)
+        four_->resetFilters();
+    else if (kway_)
+        kway_->resetFilters();
+}
+
+ControllerCheckpoint
+MigrationController::checkpoint() const
+{
+    ControllerCheckpoint c;
+    c.numCores = config_.numCores;
+    c.splitWays = splitWays_;
+    c.liveMask = liveMask_;
+    c.activeCore = activeCore_;
+    c.stats = stats_;
+    c.recovery = recovery_;
+    if (two_)
+        two_->checkpoint(c.engines, c.filters);
+    else if (four_)
+        four_->checkpoint(c.engines, c.filters);
+    else if (kway_)
+        kway_->checkpoint(c.engines, c.filters);
+    store_->snapshotEntries(c.storeEntries);
+    c.storeStats = store_->stats();
+    return c;
+}
+
+void
+MigrationController::restore(const ControllerCheckpoint &ckpt)
+{
+    XMIG_ASSERT(ckpt.numCores == config_.numCores,
+                "checkpoint for %u cores restored into a %u-core "
+                "controller", ckpt.numCores, config_.numCores);
+    liveMask_ = ckpt.liveMask;
+    activeCore_ = ckpt.activeCore;
+    stats_ = ckpt.stats;
+    recovery_ = ckpt.recovery;
+
+    // Quiesce the fabric and the backoff machinery.
+    pendingValid_ = false;
+    nextIssueAllowed_ = 0;
+    backoff_ = config_.retry.backoffBase;
+    retryPending_ = false;
+
+    // Rebuild the splitter at the checkpointed arity, then load the
+    // engine/filter/store state into the fresh structure. The store
+    // object is reused (its registered metrics stay valid); only its
+    // contents are replaced.
+    retireSplitter();
+    splitWays_ = ckpt.splitWays;
+    if (splitWays_ > 1)
+        buildSplitter(splitWays_);
+    recomputeMapping();
+    store_->restoreEntries(ckpt.storeEntries, ckpt.storeStats);
+    if (two_)
+        two_->restore(ckpt.engines, ckpt.filters);
+    else if (four_)
+        four_->restore(ckpt.engines, ckpt.filters);
+    else if (kway_)
+        kway_->restore(ckpt.engines, ckpt.filters);
+    transitionsBase_ = stats_.transitions;
 }
 
 } // namespace xmig

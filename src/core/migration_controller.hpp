@@ -8,6 +8,30 @@
  * 3.4), the affinity machinery advances on every L1 miss but the
  * transition filters — and therefore the migration target — can only
  * change on an L2 miss.
+ *
+ * xmig-iron extends the controller with a resilience layer:
+ *
+ *  - **topology**: cores can go offline/online at run time
+ *    (setCoreOffline / setCoreOnline). The controller keeps a live
+ *    mask and splits across the largest power-of-two subset of the
+ *    survivors, rebuilding the splitter (and a fresh O_e store — the
+ *    retired store's affinities are relative to retired Delta
+ *    registers) whenever the split arity changes. Splitter subsets
+ *    map to live cores through `subsetToCore_`.
+ *
+ *  - **migration fabric faults**: with a FaultPlan targeting
+ *    mig_drop / mig_delay, an ordered migration becomes an in-flight
+ *    request that can be delayed or silently dropped; a timeout
+ *    declares it lost and retries under exponential backoff. Without
+ *    such a plan the classic instantaneous path is taken, bit-
+ *    identically to a build without fault hooks.
+ *
+ *  - **watchdog**: an opt-in fault/watchdog.hpp instance vetoes
+ *    migrations during livelock cooldowns and re-initializes the
+ *    transition filters when the split degenerates.
+ *
+ *  - **checkpoint/restore**: the full control-plane state can be
+ *    captured and restored (crash recovery); see checkpoint().
  */
 
 #pragma once
@@ -15,12 +39,25 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/kway_splitter.hpp"
 #include "core/oe_store.hpp"
 #include "core/splitter.hpp"
+#include "fault/watchdog.hpp"
 
 namespace xmig {
+
+/** Timeout/backoff parameters of the lossy migration fabric. */
+struct MigrationRetryConfig
+{
+    /** Requests after which an unacknowledged migration is lost. */
+    uint64_t timeoutRequests = 64;
+    /** Initial retry backoff, in requests; doubles per timeout. */
+    uint64_t backoffBase = 32;
+    /** Backoff ceiling. */
+    uint64_t backoffCap = 8192;
+};
 
 /** Complete configuration of a migration controller. */
 struct MigrationControllerConfig
@@ -66,10 +103,25 @@ struct MigrationControllerConfig
      * runs in lockstep and panics on the first divergence. With a
      * finite affinity cache or narrow affinity widths the oracle
      * disarms itself (warn once) at the first eviction or
-     * saturation rather than false-alarming.
+     * saturation rather than false-alarming. An injected fault that
+     * touches the audited mechanism also disarms it — corruption the
+     * controller *knowingly* caused is not a model divergence.
      */
     bool shadowAudit = false;
     uint64_t shadowDeepCheckEvery = 4096;
+
+    /**
+     * xmig-iron fault hook (non-owning; may be null). Drives soft
+     * errors in the engines (Ae/Delta/Ar), O_e store corruption, and
+     * the lossy migration fabric.
+     */
+    FaultInjector *faults = nullptr;
+
+    /** Livelock/degenerate-split watchdog (disabled by default). */
+    WatchdogConfig watchdog;
+
+    /** Migration retry/backoff tuning (used only under fault plans). */
+    MigrationRetryConfig retry;
 };
 
 /** Aggregate controller statistics. */
@@ -79,6 +131,43 @@ struct MigrationStats
     uint64_t filterUpdates = 0; ///< requests that updated a filter
     uint64_t transitions = 0;   ///< subset-index changes
     uint64_t migrations = 0;    ///< active-core changes ordered
+};
+
+/** Degradation / self-healing event counts (xmig-iron). */
+struct RecoveryStats
+{
+    uint64_t coresLost = 0;         ///< accepted core_off events
+    uint64_t coresJoined = 0;       ///< accepted core_on events
+    uint64_t resplits = 0;          ///< splitter rebuilds (arity change)
+    uint64_t forcedMigrations = 0;  ///< active core died under execution
+    uint64_t storeCorruptions = 0;  ///< injected O_e bit flips landed
+    uint64_t storeDrops = 0;        ///< injected tag kills landed
+    uint64_t migDropped = 0;        ///< migration requests lost in fabric
+    uint64_t migDelayed = 0;        ///< migration requests delayed
+    uint64_t migTimeouts = 0;       ///< in-flight requests timed out
+    uint64_t migRetries = 0;        ///< re-issues after timeout+backoff
+    uint64_t filterReinits = 0;     ///< watchdog filter re-inits applied
+};
+
+/**
+ * Checkpointed control-plane state (see checkpoint()). An in-flight
+ * (delayed) migration is not part of the record: checkpointing
+ * quiesces the fabric, and a restore resumes with an idle fabric and
+ * reset backoff. Watchdog dynamics (cooldown, windows) restart too.
+ */
+struct ControllerCheckpoint
+{
+    unsigned numCores = 0;
+    unsigned splitWays = 0;
+    uint64_t liveMask = 0;
+    unsigned activeCore = 0;
+    MigrationStats stats;
+    RecoveryStats recovery;
+    /** Engine states in splitter layout order (splitter.hpp). */
+    std::vector<EngineCheckpoint> engines;
+    std::vector<FilterCheckpoint> filters;
+    std::vector<OeEntrySnapshot> storeEntries;
+    OeStoreStats storeStats;
 };
 
 /**
@@ -105,7 +194,7 @@ class MigrationController
     /** Core the controller currently maps the execution to. */
     unsigned activeCore() const { return activeCore_; }
 
-    /** Subset the splitter currently selects (== activeCore()). */
+    /** Subset the splitter currently selects. */
     unsigned subset() const;
 
     const MigrationStats &stats() const { return stats_; }
@@ -122,7 +211,9 @@ class MigrationController
      * Register controller, O_e-store, and splitter state under
      * `prefix` (xmig-scope): `<prefix>.requests`, `.filter_updates`,
      * `.transitions`, `.migrations`, `.active_core`, the store's
-     * `.store.*` counters, and the splitter tree under `.splitter.*`.
+     * `.store.*` counters, the splitter tree under `.splitter.*`,
+     * recovery counters under `.recovery.*`, and — if the watchdog
+     * is enabled — `.watchdog.*`.
      */
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
@@ -139,7 +230,65 @@ class MigrationController
     /** Whole-working-set transition filter. */
     const TransitionFilter &rootFilter() const;
 
+    // ---- xmig-iron resilience interface ----------------------------
+
+    /**
+     * Hot-unplug a core. Its subset load is re-split across the
+     * surviving cores; if the execution was on the lost core it is
+     * force-migrated to the lowest live core. Taking the last live
+     * core offline is refused with a warning.
+     */
+    void setCoreOffline(unsigned core);
+
+    /** Hot-plug a core back; the splitter re-expands when possible. */
+    void setCoreOnline(unsigned core);
+
+    /** Bitmask of live cores. */
+    uint64_t liveMask() const { return liveMask_; }
+
+    /** Number of live cores. */
+    unsigned liveCores() const;
+
+    /** Current split arity (largest power of two <= live cores). */
+    unsigned splitWays() const { return splitWays_; }
+
+    /** Live core a splitter subset currently maps to. */
+    unsigned coreForSubset(unsigned subset) const;
+
+    /** True while a (delayed) migration request is in flight. */
+    bool migrationPending() const { return pendingValid_; }
+
+    const RecoveryStats &recovery() const { return recovery_; }
+    const Watchdog &watchdog() const { return watchdog_; }
+
+    /** Zero every transition filter (watchdog re-init path). */
+    void resetFilters();
+
+    /** Capture the control-plane state (crash-recovery support). */
+    ControllerCheckpoint checkpoint() const;
+
+    /**
+     * Restore a checkpoint taken from a controller with the same
+     * configuration. The splitter is rebuilt at the checkpointed
+     * arity and its engine/filter/store state reloaded; shadow
+     * oracles disarm (their lockstep history is gone). The record is
+     * trusted: a tampered engine state is caught by the paranoid
+     * audits on subsequent requests, not here.
+     */
+    void restore(const ControllerCheckpoint &ckpt);
+
   private:
+    std::unique_ptr<OeStore> makeStore() const;
+    void buildSplitter(unsigned ways);
+    void recomputeMapping();
+    void applyTopology();
+    void retireSplitter();
+    void injectStoreFaults();
+    void disarmRootShadow(const char *reason);
+    void serviceMigrationFabric(uint64_t now);
+    void requestMigration(unsigned target, uint64_t now);
+    void completeMigration(unsigned target, uint64_t now);
+
     MigrationControllerConfig config_;
     std::unique_ptr<OeStore> store_;
     std::unique_ptr<TwoWaySplitter> two_;
@@ -147,6 +296,34 @@ class MigrationController
     std::unique_ptr<KWaySplitter> kway_;
     unsigned activeCore_ = 0;
     MigrationStats stats_;
+
+    // Topology / recovery state.
+    uint64_t liveMask_ = 0;
+    unsigned splitWays_ = 0;
+    std::vector<unsigned> subsetToCore_;
+    RecoveryStats recovery_;
+    Watchdog watchdog_;
+    /** stats_.transitions at the last splitter rebuild; keeps the
+     *  transitions==splitterTransitions() audit exact across
+     *  resplits and restores. */
+    uint64_t transitionsBase_ = 0;
+
+    // Retired splitters/stores: registered metric gauges hold
+    // references into them, so a resplit parks rather than frees.
+    std::vector<std::unique_ptr<OeStore>> retiredStores_;
+    std::vector<std::unique_ptr<TwoWaySplitter>> retiredTwo_;
+    std::vector<std::unique_ptr<FourWaySplitter>> retiredFour_;
+    std::vector<std::unique_ptr<KWaySplitter>> retiredKway_;
+
+    // Migration fabric state (engaged only under mig_drop/mig_delay
+    // fault plans; otherwise migrations complete instantaneously).
+    bool pendingValid_ = false;
+    unsigned pendingTarget_ = 0;
+    uint64_t pendingIssued_ = 0;
+    uint64_t pendingDue_ = 0; ///< UINT64_MAX: dropped, will time out
+    uint64_t nextIssueAllowed_ = 0;
+    uint64_t backoff_ = 0;
+    bool retryPending_ = false; ///< next issue counts as a retry
 };
 
 } // namespace xmig

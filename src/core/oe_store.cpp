@@ -128,6 +128,85 @@ AffinityCacheStore::auditConsistency()
     }
 }
 
+bool
+AffinityCacheStore::corruptRandomEntry(Rng &rng)
+{
+    if (payload_.empty())
+        return false;
+    auto it = payload_.begin();
+    std::advance(it, static_cast<long>(rng.below(payload_.size())));
+    const uint64_t flipped =
+        static_cast<uint64_t>(it->second) ^
+        (uint64_t{1} << rng.below(config_.affinityBits));
+    it->second = saturateToBits(static_cast<int64_t>(flipped),
+                                config_.affinityBits);
+    return true;
+}
+
+bool
+AffinityCacheStore::dropRandomEntry(Rng &rng)
+{
+    if (payload_.empty())
+        return false;
+    auto it = payload_.begin();
+    std::advance(it, static_cast<long>(rng.below(payload_.size())));
+    const uint64_t line = it->first;
+    // A corrupted tag loses the entry as a whole: the payload and the
+    // tag must go together or the tag/payload reconciliation audit
+    // would (rightly) flag a dangling half.
+    payload_.erase(it);
+    const bool had_tag = tags_->invalidate(line);
+    XMIG_AUDIT(had_tag, "payload for line %llu had no tag to drop",
+               (unsigned long long)line);
+    return true;
+}
+
+void
+AffinityCacheStore::snapshotEntries(std::vector<OeEntrySnapshot> &out)
+    const
+{
+    out.reserve(out.size() + payload_.size());
+    for (const auto &[line, oe] : payload_)
+        out.push_back({line, oe});
+    std::sort(out.begin(), out.end(),
+              [](const OeEntrySnapshot &a, const OeEntrySnapshot &b) {
+                  return a.line < b.line;
+              });
+}
+
+void
+AffinityCacheStore::restoreEntries(
+    const std::vector<OeEntrySnapshot> &entries, const OeStoreStats &stats)
+{
+    // Rebuild from scratch: drop every tag, then re-insert. Insertion
+    // order (sorted by line) fixes the replacement ages, so victim
+    // choices after a restore may differ from the original run; the
+    // *contents* are exact.
+    std::vector<uint64_t> lines;
+    lines.reserve(payload_.size());
+    for (const auto &[line, oe] : payload_)
+        lines.push_back(line);
+    for (uint64_t line : lines)
+        tags_->invalidate(line);
+    payload_.clear();
+
+    CacheEntry victim;
+    bool victim_valid = false;
+    for (const OeEntrySnapshot &e : entries) {
+        tags_->allocate(e.line, &victim, &victim_valid);
+        if (victim_valid) {
+            // Greedy re-insertion is not a perfect matching over the
+            // skewed candidate frames, so a full snapshot can displace
+            // an already-restored line. The shed entry merely
+            // re-initializes to A_e = 0 on its next touch — the same
+            // thing an ordinary capacity eviction would have done.
+            payload_.erase(victim.line);
+        }
+        payload_[e.line] = saturateToBits(e.oe, config_.affinityBits);
+    }
+    stats_ = stats;
+}
+
 std::optional<int64_t>
 AffinityCacheStore::peek(uint64_t line) const
 {

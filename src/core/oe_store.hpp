@@ -11,9 +11,11 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/tags.hpp"
 #include "util/contracts.hpp"
@@ -32,6 +34,13 @@ struct OeStoreStats
 
     /** Lookups served from an existing entry. */
     uint64_t hits() const { return lookups - misses; }
+};
+
+/** One snapshotted (line, O_e) pair (checkpointing). */
+struct OeEntrySnapshot
+{
+    uint64_t line = 0;
+    int64_t oe = 0;
 };
 
 /**
@@ -59,6 +68,36 @@ class OeStore
     virtual std::optional<int64_t> peek(uint64_t line) const = 0;
 
     virtual const OeStoreStats &stats() const = 0;
+
+    /**
+     * xmig-iron fault hook: flip one random bit of one uniformly
+     * chosen entry's O_e value (re-saturated to the affinity width).
+     * Returns false when the store is empty. O(entries); faults are
+     * rare, so the scan cost is irrelevant.
+     */
+    virtual bool corruptRandomEntry(Rng &rng) = 0;
+
+    /**
+     * xmig-iron fault hook: lose one uniformly chosen entry outright,
+     * modeling a corrupted affinity-cache tag (the entry can no
+     * longer be found, so its next lookup misses and re-initializes
+     * A_e = 0). Returns false when the store is empty.
+     */
+    virtual bool dropRandomEntry(Rng &rng) = 0;
+
+    /** Append every entry, sorted by line (checkpointing). */
+    virtual void snapshotEntries(std::vector<OeEntrySnapshot> &out)
+        const = 0;
+
+    /**
+     * Replace the contents with `entries` and adopt `stats`. Exact
+     * for the unbounded store; for the finite affinity cache the
+     * replacement ages are rebuilt by re-insertion, so subsequent
+     * victim choices may differ from the original run (documented in
+     * docs/robustness.md).
+     */
+    virtual void restoreEntries(const std::vector<OeEntrySnapshot> &entries,
+                                const OeStoreStats &stats) = 0;
 };
 
 /**
@@ -137,6 +176,52 @@ class UnboundedOeStore : public OeStore
 
     const OeStoreStats &stats() const override { return stats_; }
 
+    bool
+    corruptRandomEntry(Rng &rng) override
+    {
+        if (map_.empty())
+            return false;
+        auto it = map_.begin();
+        std::advance(it, static_cast<long>(rng.below(map_.size())));
+        const uint64_t flipped = static_cast<uint64_t>(it->second) ^
+                                 (uint64_t{1} << rng.below(bits_));
+        it->second = saturateToBits(static_cast<int64_t>(flipped), bits_);
+        return true;
+    }
+
+    bool
+    dropRandomEntry(Rng &rng) override
+    {
+        if (map_.empty())
+            return false;
+        auto it = map_.begin();
+        std::advance(it, static_cast<long>(rng.below(map_.size())));
+        map_.erase(it);
+        return true;
+    }
+
+    void
+    snapshotEntries(std::vector<OeEntrySnapshot> &out) const override
+    {
+        out.reserve(out.size() + map_.size());
+        for (const auto &[line, oe] : map_)
+            out.push_back({line, oe});
+        std::sort(out.begin(), out.end(),
+                  [](const OeEntrySnapshot &a, const OeEntrySnapshot &b) {
+                      return a.line < b.line;
+                  });
+    }
+
+    void
+    restoreEntries(const std::vector<OeEntrySnapshot> &entries,
+                   const OeStoreStats &stats) override
+    {
+        map_.clear();
+        for (const OeEntrySnapshot &e : entries)
+            map_[e.line] = saturateToBits(e.oe, bits_);
+        stats_ = stats;
+    }
+
     uint64_t entries() const { return map_.size(); }
 
   private:
@@ -195,6 +280,15 @@ class AffinityCacheStore : public OeStore
     void store(uint64_t line, int64_t oe) override;
     std::optional<int64_t> peek(uint64_t line) const override;
     const OeStoreStats &stats() const override { return stats_; }
+
+    bool corruptRandomEntry(Rng &rng) override;
+
+    /** Tag corruption drops the tag *and* its payload together. */
+    bool dropRandomEntry(Rng &rng) override;
+
+    void snapshotEntries(std::vector<OeEntrySnapshot> &out) const override;
+    void restoreEntries(const std::vector<OeEntrySnapshot> &entries,
+                        const OeStoreStats &stats) override;
 
     uint64_t occupancy() const { return tags_->occupancy(); }
     const AffinityCacheConfig &config() const { return config_; }

@@ -121,8 +121,33 @@ MigrationController::registerMetrics(obs::MetricsRegistry &registry,
         two_->registerMetrics(registry, sp);
     else if (four_)
         four_->registerMetrics(registry, sp);
-    else
+    else if (kway_)
         kway_->registerMetrics(registry, sp);
+
+    // xmig-iron resilience counters.
+    const std::string rp = prefix + ".recovery";
+    registry.addCounter(rp + ".cores_lost", &recovery_.coresLost);
+    registry.addCounter(rp + ".cores_joined", &recovery_.coresJoined);
+    registry.addCounter(rp + ".resplits", &recovery_.resplits);
+    registry.addCounter(rp + ".forced_migrations",
+                        &recovery_.forcedMigrations);
+    registry.addCounter(rp + ".store_corruptions",
+                        &recovery_.storeCorruptions);
+    registry.addCounter(rp + ".store_drops", &recovery_.storeDrops);
+    registry.addCounter(rp + ".mig_dropped", &recovery_.migDropped);
+    registry.addCounter(rp + ".mig_delayed", &recovery_.migDelayed);
+    registry.addCounter(rp + ".mig_timeouts", &recovery_.migTimeouts);
+    registry.addCounter(rp + ".mig_retries", &recovery_.migRetries);
+    registry.addCounter(rp + ".filter_reinits",
+                        &recovery_.filterReinits);
+    registry.addGauge(rp + ".live_cores", [this] {
+        return static_cast<double>(liveCores());
+    });
+    registry.addGauge(rp + ".split_ways", [this] {
+        return static_cast<double>(splitWays_);
+    });
+    if (watchdog_.enabled())
+        watchdog_.registerMetrics(registry, prefix + ".watchdog");
 }
 
 } // namespace xmig

@@ -108,6 +108,31 @@ class FifoWindow
         }
     }
 
+    /** Append the live slots, oldest-first (checkpointing). */
+    void
+    snapshot(std::vector<WindowSlot> &out) const
+    {
+        forEach([&out](const WindowSlot &slot) { out.push_back(slot); });
+    }
+
+    /**
+     * Replace the contents with `slots` (oldest-first). Re-pushing
+     * reproduces the logical FIFO order regardless of where head_
+     * sat when the snapshot was taken.
+     */
+    void
+    restore(const std::vector<WindowSlot> &slots)
+    {
+        XMIG_ASSERT(slots.size() <= slots_.size(),
+                    "checkpoint window %zu exceeds capacity %zu",
+                    slots.size(), slots_.size());
+        head_ = 0;
+        size_ = 0;
+        WindowSlot dropped;
+        for (const WindowSlot &slot : slots)
+            push(slot.line, slot.ie, &dropped);
+    }
+
   private:
     std::vector<WindowSlot> slots_;
     size_t head_ = 0;
@@ -190,6 +215,27 @@ class DistinctLruWindow
     {
         for (auto it = order_.rbegin(); it != order_.rend(); ++it)
             fn(*it);
+    }
+
+    /** Append the live slots, oldest-first (checkpointing). */
+    void
+    snapshot(std::vector<WindowSlot> &out) const
+    {
+        forEach([&out](const WindowSlot &slot) { out.push_back(slot); });
+    }
+
+    /** Replace the contents with `slots` (oldest-first, distinct). */
+    void
+    restore(const std::vector<WindowSlot> &slots)
+    {
+        XMIG_ASSERT(slots.size() <= capacity_,
+                    "checkpoint window %zu exceeds capacity %zu",
+                    slots.size(), capacity_);
+        order_.clear();
+        map_.clear();
+        WindowSlot dropped;
+        for (const WindowSlot &slot : slots)
+            insert(slot.line, slot.ie, &dropped);
     }
 
   private:

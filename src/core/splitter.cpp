@@ -29,6 +29,25 @@ TwoWaySplitter::onReference(uint64_t line, bool update_filter)
     return out;
 }
 
+void
+TwoWaySplitter::checkpoint(std::vector<EngineCheckpoint> &engines,
+                           std::vector<FilterCheckpoint> &filters) const
+{
+    engines.push_back(engine_.checkpoint());
+    filters.push_back(checkpointFilter(filter_));
+}
+
+void
+TwoWaySplitter::restore(const std::vector<EngineCheckpoint> &engines,
+                        const std::vector<FilterCheckpoint> &filters)
+{
+    XMIG_ASSERT(engines.size() == 1 && filters.size() == 1,
+                "2-way checkpoint holds %zu engines / %zu filters",
+                engines.size(), filters.size());
+    engine_.restore(engines[0]);
+    restoreFilter(filter_, filters[0]);
+}
+
 namespace {
 
 EngineConfig
@@ -43,6 +62,7 @@ engineConfigOf(const FourWaySplitter::Config &config, size_t window,
     ec.shadow = shadow;
     ec.shadowDeepCheckEvery = config.shadowDeepCheckEvery;
     ec.shadowTag = tag;
+    ec.faults = config.faults;
     return ec;
 }
 
@@ -120,6 +140,41 @@ FourWaySplitter::onReference(uint64_t line, bool update_filter)
     if (out.transition)
         ++transitions_;
     return out;
+}
+
+void
+FourWaySplitter::resetFilters()
+{
+    filterX_.reset();
+    filterYPos_.reset();
+    filterYNeg_.reset();
+}
+
+void
+FourWaySplitter::checkpoint(std::vector<EngineCheckpoint> &engines,
+                            std::vector<FilterCheckpoint> &filters) const
+{
+    engines.push_back(engineX_.checkpoint());
+    engines.push_back(engineYPos_.checkpoint());
+    engines.push_back(engineYNeg_.checkpoint());
+    filters.push_back(checkpointFilter(filterX_));
+    filters.push_back(checkpointFilter(filterYPos_));
+    filters.push_back(checkpointFilter(filterYNeg_));
+}
+
+void
+FourWaySplitter::restore(const std::vector<EngineCheckpoint> &engines,
+                         const std::vector<FilterCheckpoint> &filters)
+{
+    XMIG_ASSERT(engines.size() == 3 && filters.size() == 3,
+                "4-way checkpoint holds %zu engines / %zu filters",
+                engines.size(), filters.size());
+    engineX_.restore(engines[0]);
+    engineYPos_.restore(engines[1]);
+    engineYNeg_.restore(engines[2]);
+    restoreFilter(filterX_, filters[0]);
+    restoreFilter(filterYPos_, filters[1]);
+    restoreFilter(filterYNeg_, filters[2]);
 }
 
 } // namespace xmig

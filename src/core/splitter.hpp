@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/transition_filter.hpp"
@@ -29,6 +30,20 @@ namespace xmig {
 void registerFilterMetrics(obs::MetricsRegistry &registry,
                            const std::string &prefix,
                            const TransitionFilter &filter);
+
+/** Capture one transition filter's state (checkpoint.hpp). */
+inline FilterCheckpoint
+checkpointFilter(const TransitionFilter &filter)
+{
+    return {filter.value(), filter.transitions(), filter.updates()};
+}
+
+/** Restore one transition filter from a checkpoint. */
+inline void
+restoreFilter(TransitionFilter &filter, const FilterCheckpoint &ckpt)
+{
+    filter.restore(ckpt.value, ckpt.transitions, ckpt.updates);
+}
 
 /** Outcome of presenting one reference to a splitter. */
 struct SplitDecision
@@ -71,6 +86,17 @@ class TwoWaySplitter
     const AffinityEngine &engine() const { return engine_; }
     AffinityEngine &engine() { return engine_; }
 
+    /** Zero the filter (watchdog re-initialization). */
+    void resetFilters() { filter_.reset(); }
+
+    /** Append engine/filter state in layout order: [engine]. */
+    void checkpoint(std::vector<EngineCheckpoint> &engines,
+                    std::vector<FilterCheckpoint> &filters) const;
+
+    /** Restore state captured by checkpoint() (sizes must match). */
+    void restore(const std::vector<EngineCheckpoint> &engines,
+                 const std::vector<FilterCheckpoint> &filters);
+
     /** Register mechanism state under `prefix` (xmig-scope). */
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
@@ -110,6 +136,9 @@ class FourWaySplitter
          */
         ShadowMode shadow = ShadowMode::Off;
         uint64_t shadowDeepCheckEvery = 4096;
+
+        /** Soft-error hook shared by all three engines (xmig-iron). */
+        FaultInjector *faults = nullptr;
     };
 
     FourWaySplitter(const Config &config, OeStore &store);
@@ -127,6 +156,18 @@ class FourWaySplitter
     const TransitionFilter &filterX() const { return filterX_; }
     const TransitionFilter &filterY(int side_x) const;
     const AffinityEngine &engineX() const { return engineX_; }
+    AffinityEngine &engineX() { return engineX_; }
+
+    /** Zero all three filters (watchdog re-initialization). */
+    void resetFilters();
+
+    /** Append engine/filter state in order [X, Y[+1], Y[-1]]. */
+    void checkpoint(std::vector<EngineCheckpoint> &engines,
+                    std::vector<FilterCheckpoint> &filters) const;
+
+    /** Restore state captured by checkpoint() (sizes must match). */
+    void restore(const std::vector<EngineCheckpoint> &engines,
+                 const std::vector<FilterCheckpoint> &filters);
 
     /** Register every mechanism (X, Y[+1], Y[-1]) under `prefix`. */
     void registerMetrics(obs::MetricsRegistry &registry,

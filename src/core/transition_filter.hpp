@@ -54,11 +54,34 @@ class TransitionFilter
 
     uint64_t transitions() const { return transitions_; }
     uint64_t updates() const { return updates_; }
+    uint64_t resets() const { return resets_; }
+
+    /**
+     * Zero the counter (watchdog re-initialization after a degenerate
+     * all-one-sign split). The transition/update history is kept; the
+     * reset itself is counted.
+     */
+    void
+    reset()
+    {
+        counter_.set(0);
+        ++resets_;
+    }
+
+    /** Restore a checkpointed state (value is clamped to the width). */
+    void
+    restore(int64_t value, uint64_t transitions, uint64_t updates)
+    {
+        counter_.set(value);
+        transitions_ = transitions;
+        updates_ = updates;
+    }
 
   private:
     SatInt counter_;
     uint64_t transitions_ = 0;
     uint64_t updates_ = 0;
+    uint64_t resets_ = 0;
 };
 
 } // namespace xmig

@@ -1,0 +1,225 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/contracts.hpp"
+#include "util/logging.hpp"
+
+namespace xmig {
+
+namespace {
+
+struct SiteSpec
+{
+    const char *name;
+    FaultSite site;
+};
+
+constexpr SiteSpec kFlipSites[] = {
+    {"ae", FaultSite::Ae},     {"delta", FaultSite::Delta},
+    {"ar", FaultSite::Ar},     {"oe", FaultSite::OeEntry},
+    {"tag", FaultSite::CacheTag},
+};
+
+bool
+parseUint(const std::string &text, uint64_t *out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseRate(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        return false;
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Parse the `event` production into `rule`; false + message on error. */
+bool
+parseEvent(const std::string &text, FaultRule *rule, std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    const size_t eq = text.find('=');
+    const std::string head = text.substr(0, eq);
+    const std::string arg =
+        eq == std::string::npos ? "" : text.substr(eq + 1);
+
+    if (head == "core_off" || head == "core_on") {
+        uint64_t core;
+        if (!parseUint(arg, &core) || core >= 64)
+            return fail("'" + head + "' needs a core id in [0, 64): '" +
+                        arg + "'");
+        rule->site = head == "core_off" ? FaultSite::CoreOff
+                                        : FaultSite::CoreOn;
+        rule->core = static_cast<unsigned>(core);
+        return true;
+    }
+    if (head == "flip") {
+        for (const SiteSpec &s : kFlipSites) {
+            if (arg == s.name) {
+                rule->site = s.site;
+                return true;
+            }
+        }
+        return fail("unknown flip site '" + arg +
+                    "' (want ae, delta, ar, oe or tag)");
+    }
+    if (head == "mig_drop") {
+        if (!arg.empty())
+            return fail("'mig_drop' takes no argument");
+        rule->site = FaultSite::MigDrop;
+        return true;
+    }
+    if (head == "mig_delay") {
+        uint64_t d;
+        if (!parseUint(arg, &d) || d == 0)
+            return fail("'mig_delay' needs a positive request count, "
+                        "not '" + arg + "'");
+        rule->site = FaultSite::MigDelay;
+        rule->delay = d;
+        return true;
+    }
+    if (head == "bus_drop") {
+        if (!arg.empty())
+            return fail("'bus_drop' takes no argument");
+        rule->site = FaultSite::BusDrop;
+        return true;
+    }
+    return fail("unknown fault event '" + head + "'");
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::Ae: return "ae";
+      case FaultSite::Delta: return "delta";
+      case FaultSite::Ar: return "ar";
+      case FaultSite::OeEntry: return "oe";
+      case FaultSite::CacheTag: return "tag";
+      case FaultSite::MigDrop: return "mig_drop";
+      case FaultSite::MigDelay: return "mig_delay";
+      case FaultSite::BusDrop: return "bus_drop";
+      case FaultSite::CoreOff: return "core_off";
+      case FaultSite::CoreOn: return "core_on";
+      case FaultSite::kCount: break;
+    }
+    return "?";
+}
+
+bool
+FaultPlan::targets(FaultSite site) const
+{
+    const auto match = [site](const FaultRule &r) {
+        return r.site == site;
+    };
+    return std::any_of(scheduled.begin(), scheduled.end(), match) ||
+           std::any_of(rates.begin(), rates.end(), match);
+}
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan *plan,
+                 std::string *error)
+{
+    XMIG_ASSERT(plan != nullptr, "FaultPlan::parse needs a target");
+    FaultPlan out;
+    const auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t end = spec.find(';', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string stmt = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (stmt.empty()) {
+            if (pos > spec.size())
+                break; // trailing end; empty spec or trailing ';'
+            continue;
+        }
+
+        if (stmt.rfind("seed=", 0) == 0) {
+            if (!parseUint(stmt.substr(5), &out.seed))
+                return fail("bad seed in '" + stmt + "'");
+            continue;
+        }
+
+        const size_t colon = stmt.find(':');
+        if (colon == std::string::npos)
+            return fail("statement '" + stmt +
+                        "' is not seed=, at=N:<event> or "
+                        "rate=P:<event>");
+        const std::string trigger = stmt.substr(0, colon);
+        const std::string event = stmt.substr(colon + 1);
+
+        FaultRule rule;
+        std::string event_error;
+        if (!parseEvent(event, &rule, &event_error))
+            return fail("in '" + stmt + "': " + event_error);
+
+        if (trigger.rfind("at=", 0) == 0) {
+            if (!parseUint(trigger.substr(3), &rule.at))
+                return fail("bad tick in '" + stmt + "'");
+            rule.scheduled = true;
+            out.scheduled.push_back(rule);
+        } else if (trigger.rfind("rate=", 0) == 0) {
+            if (!parseRate(trigger.substr(5), &rule.rate))
+                return fail("bad rate in '" + stmt +
+                            "' (want a probability in [0, 1])");
+            rule.scheduled = false;
+            out.rates.push_back(rule);
+        } else {
+            return fail("trigger '" + trigger +
+                        "' is not at=N or rate=P");
+        }
+    }
+
+    std::stable_sort(out.scheduled.begin(), out.scheduled.end(),
+                     [](const FaultRule &a, const FaultRule &b) {
+                         return a.at < b.at;
+                     });
+    *plan = std::move(out);
+    return true;
+}
+
+FaultPlan
+FaultPlan::parseOrFatal(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string error;
+    if (!parse(spec, &plan, &error))
+        XMIG_FATAL("bad --fault-plan: %s", error.c_str());
+    return plan;
+}
+
+} // namespace xmig

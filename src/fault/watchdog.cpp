@@ -1,0 +1,99 @@
+#include "fault/watchdog.hpp"
+
+#include "obs/registry.hpp"
+#include "util/contracts.hpp"
+
+namespace xmig {
+
+Watchdog::Watchdog(const WatchdogConfig &config) : config_(config)
+{
+    XMIG_ASSERT(config_.pingPongWindow > 0 && config_.cooldownBase > 0,
+                "watchdog windows must be positive");
+    XMIG_ASSERT(config_.cooldownCap >= config_.cooldownBase,
+                "watchdog cooldown cap below base");
+    cooldown_ = config_.cooldownBase;
+    stats_.cooldownNow = cooldown_;
+}
+
+void
+Watchdog::onRequest(uint64_t now, bool rootSaturated)
+{
+    if (!config_.enabled)
+        return;
+
+    if (rootSaturated) {
+        if (++saturatedRun_ >= config_.stuckWindow) {
+            // Degenerate all-one-sign split: every sampled transition
+            // lands on one side. Request a re-init and restart the run
+            // so a persistent pathology fires again after a while.
+            reinitPending_ = true;
+            ++stats_.reinits;
+            saturatedRun_ = 0;
+        }
+    } else {
+        saturatedRun_ = 0;
+    }
+
+    // Hysteresis decay: a long clean stretch shrinks the cooldown
+    // back to base so an isolated ancient trip stops hurting.
+    if (cooldown_ > config_.cooldownBase && now >= cooldownUntil_ &&
+        now - lastTrip_ >= config_.decayAfter) {
+        cooldown_ = config_.cooldownBase;
+        stats_.cooldownNow = cooldown_;
+    }
+}
+
+bool
+Watchdog::migrationAllowed(uint64_t now)
+{
+    if (!config_.enabled)
+        return true;
+    if (now < cooldownUntil_) {
+        ++stats_.suppressed;
+        return false;
+    }
+    return true;
+}
+
+void
+Watchdog::onMigration(uint64_t now)
+{
+    if (!config_.enabled)
+        return;
+    if (now - windowStart_ >= config_.pingPongWindow) {
+        windowStart_ = now;
+        windowMigrations_ = 0;
+    }
+    if (++windowMigrations_ > config_.pingPongLimit) {
+        // Livelock: back off, doubling the cooldown on repeat trips.
+        ++stats_.livelocks;
+        lastTrip_ = now;
+        cooldownUntil_ = now + cooldown_;
+        cooldown_ = cooldown_ < config_.cooldownCap / 2
+                        ? cooldown_ * 2
+                        : config_.cooldownCap;
+        stats_.cooldownNow = cooldown_;
+        windowStart_ = now;
+        windowMigrations_ = 0;
+    }
+}
+
+bool
+Watchdog::takeReinit()
+{
+    const bool pending = reinitPending_;
+    reinitPending_ = false;
+    return pending;
+}
+
+void
+Watchdog::registerMetrics(obs::MetricsRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.addCounter(prefix + ".livelocks", &stats_.livelocks);
+    registry.addCounter(prefix + ".suppressed", &stats_.suppressed);
+    registry.addCounter(prefix + ".reinits", &stats_.reinits);
+    registry.addCounter(prefix + ".cooldown", &stats_.cooldownNow);
+}
+
+} // namespace xmig

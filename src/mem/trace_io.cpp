@@ -38,31 +38,29 @@ writeVarint(std::FILE *file, uint64_t v)
         XMIG_FATAL("trace write failed");
 }
 
-/** Returns false on clean EOF; fatal on a truncated varint. */
-bool
-readVarint(std::FILE *file, uint64_t *out, bool at_record_start)
+uint64_t
+tellOffset(std::FILE *file)
 {
-    uint64_t v = 0;
-    unsigned shift = 0;
-    for (;;) {
-        const int c = std::fgetc(file);
-        if (c == EOF) {
-            if (at_record_start && shift == 0)
-                return false;
-            XMIG_FATAL("truncated trace file");
-        }
-        v |= (static_cast<uint64_t>(c) & 0x7f) << shift;
-        if ((c & 0x80) == 0)
-            break;
-        shift += 7;
-        if (shift >= 64)
-            XMIG_FATAL("corrupt varint in trace file");
-    }
-    *out = v;
-    return true;
+    const long pos = std::ftell(file);
+    return pos < 0 ? 0 : static_cast<uint64_t>(pos);
 }
 
 } // namespace
+
+const char *
+traceIoErrorName(TraceIoError error)
+{
+    switch (error) {
+    case TraceIoError::None:            return "none";
+    case TraceIoError::OpenFailed:      return "open_failed";
+    case TraceIoError::ShortMagic:      return "short_magic";
+    case TraceIoError::BadMagic:        return "bad_magic";
+    case TraceIoError::TruncatedRecord: return "truncated_record";
+    case TraceIoError::CorruptVarint:   return "corrupt_varint";
+    case TraceIoError::BadRecordType:   return "bad_record_type";
+    }
+    return "unknown";
+}
 
 TraceWriter::TraceWriter(const std::string &path)
 {
@@ -109,12 +107,21 @@ TraceWriter::close()
 TraceReader::TraceReader(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "rb");
-    if (!file_)
-        XMIG_FATAL("cannot open trace file '%s'", path.c_str());
+    if (!file_) {
+        fail(TraceIoError::OpenFailed,
+             "cannot open trace file '" + path + "'");
+        return;
+    }
     char magic[8];
-    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
-        XMIG_FATAL("'%s' is not an xmig trace file", path.c_str());
+    const size_t got = std::fread(magic, 1, sizeof(magic), file_);
+    if (got != sizeof(magic)) {
+        fail(TraceIoError::ShortMagic,
+             "'" + path + "' ends inside the trace magic");
+        return;
+    }
+    if (std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        fail(TraceIoError::BadMagic,
+             "'" + path + "' is not an xmig trace file");
     }
 }
 
@@ -125,17 +132,46 @@ TraceReader::~TraceReader()
 }
 
 bool
+TraceReader::fail(TraceIoError error, const std::string &message)
+{
+    // Keep the first failure; later calls must not overwrite it.
+    if (status_.ok()) {
+        status_.error = error;
+        status_.offset = file_ ? tellOffset(file_) : 0;
+        status_.message = message + " (" +
+                          traceIoErrorName(error) + " at byte " +
+                          std::to_string(status_.offset) + ")";
+    }
+    return false;
+}
+
+bool
 TraceReader::next(MemRef *ref)
 {
+    if (!status_.ok() || !file_)
+        return false;
     const int c = std::fgetc(file_);
     if (c == EOF)
-        return false;
+        return false; // clean end of trace
     const unsigned type = static_cast<unsigned>(c) & 0x3;
     if (type > 2)
-        XMIG_FATAL("corrupt record type in trace file");
-    uint64_t encoded;
-    if (!readVarint(file_, &encoded, false))
-        return false; // unreachable: readVarint is fatal mid-record
+        return fail(TraceIoError::BadRecordType,
+                    "corrupt record type in trace file");
+    uint64_t encoded = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int b = std::fgetc(file_);
+        if (b == EOF)
+            return fail(TraceIoError::TruncatedRecord,
+                        "trace file ends inside a record");
+        encoded |= (static_cast<uint64_t>(b) & 0x7f) << shift;
+        if ((b & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift >= 64)
+            return fail(TraceIoError::CorruptVarint,
+                        "corrupt varint in trace file");
+    }
     const int64_t delta = unzigzag(encoded);
     lastAddr_[type] = static_cast<uint64_t>(
         static_cast<int64_t>(lastAddr_[type]) + delta);

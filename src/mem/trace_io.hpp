@@ -32,6 +32,36 @@
 namespace xmig {
 
 /**
+ * What went wrong while reading a trace file (xmig-iron: corrupt
+ * inputs are reported, not fatal — the caller decides whether a
+ * truncated trace is an error or a usable prefix).
+ */
+enum class TraceIoError : uint8_t
+{
+    None = 0,
+    OpenFailed,      ///< file could not be opened
+    ShortMagic,      ///< file ends inside the 8-byte magic
+    BadMagic,        ///< magic bytes do not match "XMIGTRC1"
+    TruncatedRecord, ///< EOF inside a record (after its control byte)
+    CorruptVarint,   ///< varint continuation past 64 bits
+    BadRecordType,   ///< control byte names an unknown RefType
+};
+
+/** Stable identifier string for a TraceIoError. */
+const char *traceIoErrorName(TraceIoError error);
+
+/** Outcome of a reader operation, with the failure's byte offset. */
+struct TraceIoStatus
+{
+    TraceIoError error = TraceIoError::None;
+    /** Byte offset just past the bytes consumed when the error hit. */
+    uint64_t offset = 0;
+    std::string message;
+
+    bool ok() const { return error == TraceIoError::None; }
+};
+
+/**
  * RefSink that appends every reference to a trace file.
  */
 class TraceWriter : public RefSink
@@ -59,26 +89,47 @@ class TraceWriter : public RefSink
 
 /**
  * Reads a trace file written by TraceWriter.
+ *
+ * Never fatal: open/magic problems surface through ok()/status()
+ * after construction, and next() returns false on both clean EOF and
+ * error — status() tells them apart, with the byte offset of the
+ * failure for corrupt files.
  */
 class TraceReader
 {
   public:
-    /** Opens `path`; fatal on failure or bad magic. */
+    /** Opens `path`; check ok() before reading. */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
-    /** Read the next reference. Returns false at end of file. */
+    /** False if the reader is in an error state (see status()). */
+    bool ok() const { return status_.ok(); }
+
+    /** Details of the first failure; stable once set. */
+    const TraceIoStatus &status() const { return status_; }
+
+    /**
+     * Read the next reference. Returns false at clean end of file
+     * *and* on error; ok() distinguishes. After a false return every
+     * further call returns false.
+     */
     bool next(MemRef *ref);
 
-    /** Replay the remaining records into `sink`; returns the count. */
+    /**
+     * Replay the remaining records into `sink`; returns the count.
+     * Stops at EOF or on the first corrupt record (check ok()).
+     */
     uint64_t replay(RefSink &sink);
 
   private:
+    bool fail(TraceIoError error, const std::string &message);
+
     std::FILE *file_ = nullptr;
     uint64_t lastAddr_[3] = {0, 0, 0};
+    TraceIoStatus status_;
 };
 
 } // namespace xmig

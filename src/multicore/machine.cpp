@@ -1,9 +1,11 @@
 #include "multicore/machine.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
+#include "util/logging.hpp"
 
 namespace xmig {
 
@@ -37,9 +39,25 @@ MigrationMachine::MigrationMachine(const MachineConfig &config)
         l2s_.push_back(std::make_unique<Cache>(l2c));
     }
 
+    if (!config.faultPlan.empty()) {
+        if constexpr (!kFaultEnabled) {
+            XMIG_FATAL("a fault plan is armed but this build compiled "
+                       "the fault hooks out; rebuild with "
+                       "-DXMIG_FAULT=ON");
+        }
+        if (config.numCores > 1) {
+            injector_ = std::make_unique<FaultInjector>(
+                FaultPlan::parseOrFatal(config.faultPlan));
+            busFaulty_ = injector_->armedFor(FaultSite::BusDrop);
+        } else {
+            XMIG_WARN("fault plan ignored on a single-core machine");
+        }
+    }
+
     if (config.numCores > 1) {
         MigrationControllerConfig cc = config.controller;
         cc.numCores = config.numCores;
+        cc.faults = injector_.get();
         controller_ = std::make_unique<MigrationController>(cc);
     }
 
@@ -61,10 +79,61 @@ MigrationMachine::MigrationMachine(const MachineConfig &config)
 void
 MigrationMachine::access(const MemRef &ref)
 {
+    if constexpr (kFaultEnabled) {
+        if (injector_) {
+            injector_->tick();
+            if (injector_->coreEventsPending())
+                applyCoreEvents();
+        }
+    }
     ++stats_.refs;
     if (ref.isIfetch())
         ++stats_.instructions;
     l1_->access(ref); // forwards post-L1 events to onLine()
+}
+
+void
+MigrationMachine::applyCoreEvents()
+{
+    coreEventScratch_.clear();
+    injector_->drainCoreEvents(coreEventScratch_);
+    for (const CoreFaultEvent &ev : coreEventScratch_) {
+        if (ev.core >= config_.numCores) {
+            XMIG_WARN("fault plan names core %u of a %u-core machine; "
+                      "ignored", ev.core, config_.numCores);
+            continue;
+        }
+        const uint64_t live_before = controller_->liveMask();
+        if (!ev.online) {
+            controller_->setCoreOffline(ev.core);
+            if (controller_->liveMask() == live_before)
+                continue; // refused (last live core) or already off
+            ++stats_.coreOffEvents;
+            // Abrupt unplug: the L2 (and any affinity-cache state the
+            // controller retired with the resplit) is simply gone.
+            // Modified lines whose only copy lived there are lost.
+            stats_.dirtyLinesLost += l2s_[ev.core]->invalidateAll();
+            XMIG_TRACE("fault", "core_off",
+                       {{"core", ev.core},
+                        {"live", controller_->liveCores()}});
+        } else {
+            controller_->setCoreOnline(ev.core);
+            if (controller_->liveMask() == live_before)
+                continue;
+            ++stats_.coreOnEvents;
+            // The rejoining core's L2 was invalidated on unplug; it
+            // refills on demand once execution migrates there.
+            XMIG_TRACE("fault", "core_on",
+                       {{"core", ev.core},
+                        {"live", controller_->liveCores()}});
+        }
+        if (activeCore_ != controller_->activeCore()) {
+            // Forced migration: the active core was unplugged.
+            ++stats_.migrations;
+            activeCore_ = controller_->activeCore();
+            XMIG_TRACE_COUNTER("machine", "active_core", activeCore_);
+        }
+    }
 }
 
 void
@@ -104,16 +173,64 @@ MigrationMachine::onLine(const LineEvent &event)
     if (is_store)
         broadcastStore(event.line);
 
+    if constexpr (kFaultEnabled) {
+        // Dropped update-bus broadcasts leave stale modified bits
+        // behind; a periodic scrubber repairs them (self-healing).
+        if (busFaulty_ && ++scrubTick_ % 4096 == 0)
+            scrubCoherence();
+    }
+
     if constexpr (kAuditParanoid) {
         // Whole-machine coherence sweep (section 2.1's single-
         // modified-copy rule) is O(total L2 entries); amortize it
-        // over the post-L1 event stream.
-        if (++auditTick_ % 8192 == 0) {
+        // over the post-L1 event stream. With update-bus loss armed
+        // the invariant is *expected* to break between scrubs, so
+        // the sweep stands down (extended disarm rule, xmig-iron).
+        if (!busFaulty_ && ++auditTick_ % 8192 == 0) {
             XMIG_EXPECT(countMultiModifiedLines() == 0,
                         "migration-mode coherence violated: a line "
                         "has multiple modified L2 copies");
         }
     }
+}
+
+void
+MigrationMachine::scrubCoherence()
+{
+    // Find lines with more than one modified copy and demote every
+    // copy but one — prefer the active core's (freshest value under
+    // the lost-broadcast model), else the lowest core's. Demoted
+    // copies are written back to L3, as hardware scrubbers do.
+    std::unordered_map<uint64_t, std::vector<unsigned>> modified_at;
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l2s_[c]->tags().forEachValid([&](const CacheEntry &e) {
+            if (e.modified)
+                modified_at[e.line].push_back(c);
+        });
+    }
+    for (auto &[line, cores] : modified_at) {
+        if (cores.size() < 2)
+            continue;
+        const bool active_has =
+            std::find(cores.begin(), cores.end(), activeCore_) !=
+            cores.end();
+        const unsigned keeper = active_has ? activeCore_ : cores[0];
+        for (unsigned c : cores) {
+            if (c == keeper)
+                continue;
+            CacheEntry *entry = l2s_[c]->findEntry(line);
+            XMIG_ASSERT(entry != nullptr && entry->modified,
+                        "scrub lost track of line %llx on core %u",
+                        (unsigned long long)line, c);
+            entry->modified = false;
+            ++stats_.l3Writebacks;
+            writebackToL3(line);
+            ++stats_.coherenceRepairs;
+        }
+    }
+    if (stats_.coherenceRepairs > 0)
+        XMIG_TRACE_COUNTER("fault", "coherence_repairs",
+                           stats_.coherenceRepairs);
 }
 
 void
@@ -214,6 +331,14 @@ MigrationMachine::writebackToL3(uint64_t line)
 void
 MigrationMachine::broadcastStore(uint64_t line)
 {
+    if constexpr (kFaultEnabled) {
+        // A dropped broadcast loses the whole update: inactive copies
+        // keep both their stale value and their stale modified bit.
+        if (busFaulty_ && injector_->draw(FaultSite::BusDrop)) {
+            ++stats_.busDrops;
+            return;
+        }
+    }
     // Update bus: the store value reaches every inactive copy, whose
     // modified bit is reset so that at most the active core's copy is
     // modified (section 2.1). Values are not modeled, only state.
@@ -236,6 +361,75 @@ MigrationMachine::resetStats()
         l2->resetStats();
     if (l3_)
         l3_->resetStats();
+}
+
+namespace {
+
+std::vector<MachineCheckpoint::LineState>
+captureCache(const Cache &cache)
+{
+    std::vector<MachineCheckpoint::LineState> out;
+    cache.tags().forEachValid([&](const CacheEntry &e) {
+        out.push_back({e.line, e.modified});
+    });
+    // forEachValid order depends on the tag backing; sort for a
+    // deterministic record (and deterministic refill order below).
+    std::sort(out.begin(), out.end(),
+              [](const MachineCheckpoint::LineState &a,
+                 const MachineCheckpoint::LineState &b) {
+                  return a.line < b.line;
+              });
+    return out;
+}
+
+void
+refillCache(Cache &cache, const std::vector<MachineCheckpoint::LineState> &lines)
+{
+    cache.invalidateAll();
+    for (const MachineCheckpoint::LineState &ls : lines)
+        cache.fill(ls.line, ls.modified);
+}
+
+} // namespace
+
+MachineCheckpoint
+MigrationMachine::checkpoint() const
+{
+    MachineCheckpoint c;
+    c.stats = stats_;
+    c.activeCore = activeCore_;
+    c.l2Contents.reserve(l2s_.size());
+    for (const auto &l2 : l2s_)
+        c.l2Contents.push_back(captureCache(*l2));
+    if (l3_)
+        c.l3Contents = captureCache(*l3_);
+    if (controller_) {
+        c.hasController = true;
+        c.controller = controller_->checkpoint();
+    }
+    return c;
+}
+
+void
+MigrationMachine::restore(const MachineCheckpoint &ckpt)
+{
+    XMIG_ASSERT(ckpt.l2Contents.size() == l2s_.size(),
+                "checkpoint has %zu L2s, machine has %zu",
+                ckpt.l2Contents.size(), l2s_.size());
+    XMIG_ASSERT(ckpt.hasController == (controller_ != nullptr),
+                "checkpoint/machine controller presence mismatch");
+    stats_ = ckpt.stats;
+    activeCore_ = ckpt.activeCore;
+    for (size_t c = 0; c < l2s_.size(); ++c)
+        refillCache(*l2s_[c], ckpt.l2Contents[c]);
+    if (l3_)
+        refillCache(*l3_, ckpt.l3Contents);
+    if (controller_) {
+        controller_->restore(ckpt.controller);
+        XMIG_ASSERT(controller_->activeCore() == activeCore_,
+                    "restored machine/controller active-core desync: "
+                    "%u vs %u", activeCore_, controller_->activeCore());
+    }
 }
 
 uint64_t

@@ -26,12 +26,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hpp"
 #include "cache/l1_filter.hpp"
 #include "cache/prefetcher.hpp"
 #include "core/migration_controller.hpp"
+#include "fault/fault_injector.hpp"
 #include "mem/trace.hpp"
 
 namespace xmig {
@@ -73,6 +75,15 @@ struct MachineConfig
      */
     PrefetcherConfig prefetch;
 
+    /**
+     * xmig-iron fault plan (fault_plan.hpp grammar); empty = no
+     * faults. Parsed at construction; a multi-core machine then owns
+     * a FaultInjector shared with its controller and engines. A
+     * non-empty plan on a -DXMIG_FAULT=OFF build is a fatal error;
+     * on a single-core machine it is ignored with a warning.
+     */
+    std::string faultPlan;
+
     /** Section 4.2 controller settings. */
     static MigrationControllerConfig
     defaultController()
@@ -110,6 +121,37 @@ struct MachineStats
     uint64_t l3Accesses = 0;      ///< finite-L3 mode only
     uint64_t l3Misses = 0;        ///< L3 misses (off-chip fetches)
     uint64_t memoryWritebacks = 0; ///< dirty L3 evictions
+
+    // xmig-iron fault / recovery events.
+    uint64_t coreOffEvents = 0;    ///< cores hot-unplugged
+    uint64_t coreOnEvents = 0;     ///< cores hot-plugged back
+    uint64_t dirtyLinesLost = 0;   ///< modified L2 lines lost to unplug
+    uint64_t busDrops = 0;         ///< update-bus broadcasts lost
+    uint64_t coherenceRepairs = 0; ///< stale modified bits scrubbed
+};
+
+/**
+ * Checkpointed machine state (crash-recovery support). Captures the
+ * architectural contents of the L2s and L3 ({line, modified} sets)
+ * and the controller's control plane. The L1 filter and all cache
+ * replacement ages are *not* captured: a restore models a reboot
+ * with cold L1s, so the continuation is control-plane-exact but not
+ * cycle-identical for finite caches (see docs/robustness.md).
+ */
+struct MachineCheckpoint
+{
+    struct LineState
+    {
+        uint64_t line = 0;
+        bool modified = false;
+    };
+
+    MachineStats stats;
+    unsigned activeCore = 0;
+    std::vector<std::vector<LineState>> l2Contents; ///< per core
+    std::vector<LineState> l3Contents;
+    bool hasController = false;
+    ControllerCheckpoint controller;
 };
 
 /**
@@ -152,6 +194,21 @@ class MigrationMachine : public RefSink, private LineSink
         return controller_.get();
     }
 
+    /** Fault injector (null unless a fault plan is armed). */
+    const FaultInjector *injector() const { return injector_.get(); }
+
+    /** Capture the architectural machine state (crash recovery). */
+    MachineCheckpoint checkpoint() const;
+
+    /**
+     * Restore a checkpoint taken from a machine with the same
+     * geometry. Cache contents are rebuilt (replacement ages reset),
+     * the controller control plane is reloaded exactly, and the L1
+     * filter stays as-is — restore into a freshly built machine for
+     * the cold-L1 crash-recovery semantics the tests rely on.
+     */
+    void restore(const MachineCheckpoint &ckpt);
+
     /**
      * Audit the coherence invariant: returns the number of lines with
      * more than one modified copy across L2s (must be 0).
@@ -169,6 +226,17 @@ class MigrationMachine : public RefSink, private LineSink
 
   private:
     void onLine(const LineEvent &event) override;
+
+    /** Drain and apply core hot-(un)plug events from the injector. */
+    void applyCoreEvents();
+
+    /**
+     * Repair stale modified bits left behind by dropped update-bus
+     * broadcasts: for every line with multiple modified copies, keep
+     * the active core's copy (else the lowest core's) and write the
+     * stale ones back to L3.
+     */
+    void scrubCoherence();
 
     /** Handle the L2-level request on the (post-decision) active core. */
     void accessL2(uint64_t line, bool is_store);
@@ -189,11 +257,15 @@ class MigrationMachine : public RefSink, private LineSink
     std::unique_ptr<L1Filter> l1_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::unique_ptr<Cache> l3_;
+    std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<MigrationController> controller_;
     std::unique_ptr<Prefetcher> prefetcher_;
     std::vector<uint64_t> prefetchCandidates_; ///< scratch buffer
+    std::vector<CoreFaultEvent> coreEventScratch_;
     unsigned activeCore_ = 0;
     uint64_t auditTick_ = 0; ///< paranoid coherence-sweep cadence
+    uint64_t scrubTick_ = 0; ///< bus-drop coherence-scrub cadence
+    bool busFaulty_ = false; ///< plan targets the update bus
     MachineStats stats_;
 };
 

@@ -54,6 +54,15 @@ MigrationMachine::registerMetrics(obs::MetricsRegistry &registry,
     registry.addCounter(prefix + ".l3_misses", &stats_.l3Misses);
     registry.addCounter(prefix + ".memory_writebacks",
                         &stats_.memoryWritebacks);
+    registry.addCounter(prefix + ".core_off_events",
+                        &stats_.coreOffEvents);
+    registry.addCounter(prefix + ".core_on_events",
+                        &stats_.coreOnEvents);
+    registry.addCounter(prefix + ".dirty_lines_lost",
+                        &stats_.dirtyLinesLost);
+    registry.addCounter(prefix + ".bus_drops", &stats_.busDrops);
+    registry.addCounter(prefix + ".coherence_repairs",
+                        &stats_.coherenceRepairs);
     registry.addGauge(prefix + ".active_core", [this] {
         return static_cast<double>(activeCore_);
     });
@@ -76,6 +85,8 @@ MigrationMachine::registerMetrics(obs::MetricsRegistry &registry,
 
     if (controller_)
         controller_->registerMetrics(registry, prefix + ".controller");
+    if (injector_)
+        injector_->registerMetrics(registry, prefix + ".faults");
 }
 
 } // namespace xmig

@@ -104,6 +104,10 @@ struct LatencyParams
     unsigned l2HitCycles = 0; ///< folded into baseCpi by default
     unsigned l3HitCycles = 20; ///< the paper's L2-miss/L3-hit penalty
     unsigned memoryCycles = 200; ///< finite-L3 mode only
+
+    // xmig-iron recovery costs (OS/firmware path, not pipeline):
+    unsigned resplitCycles = 5000; ///< splitter rebuild after core loss
+    unsigned retryCycles = 100;    ///< one migration timeout + retry
 };
 
 /**
@@ -153,6 +157,23 @@ class TimingModel
              static_cast<double>(stats.l3Misses);
         c += migrationPenaltyCycles() *
              static_cast<double>(stats.migrations);
+        return c;
+    }
+
+    /**
+     * cycles() plus the recovery overheads a degraded run pays:
+     * splitter rebuilds after core churn and migration-fabric
+     * timeouts (xmig-iron; see RecoveryStats).
+     */
+    double
+    cyclesWithRecovery(const MachineStats &stats,
+                       const RecoveryStats &recovery) const
+    {
+        double c = cycles(stats);
+        c += static_cast<double>(latency_.resplitCycles) *
+             static_cast<double>(recovery.resplits);
+        c += static_cast<double>(latency_.retryCycles) *
+             static_cast<double>(recovery.migTimeouts);
         return c;
     }
 

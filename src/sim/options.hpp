@@ -8,6 +8,9 @@
  *   --bench NAME   restrict to one benchmark (repeatable)
  *   --seed S       workload seed
  *   --warmup N     unmeasured warm-up instructions (where supported)
+ *   --fault-plan P xmig-iron fault plan (fault_plan.hpp grammar),
+ *                  forwarded to MachineConfig::faultPlan by harnesses
+ *                  that run a MigrationMachine
  *
  * xmig-scope outputs (harnesses that run a machine; applied to the
  * first selected benchmark — see sim/observe.hpp):
@@ -15,14 +18,23 @@
  *   --samples-out F   dump the time-series sampler as CSV to F
  *   --trace-out F     write a Chrome trace_event JSON file to F
  *   --sample-every N  references between time-series samples
+ *
+ * Numeric values are validated strictly (xmig-iron): empty, signed,
+ * non-numeric, trailing-garbage, or overflowing counts are fatal
+ * errors instead of silently parsing as 0 or saturating.
  */
 
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/logging.hpp"
 
 namespace xmig {
 
@@ -39,12 +51,37 @@ struct BenchOptions
     std::string traceOut;      ///< "" = no trace
     uint64_t sampleEvery = 0;  ///< 0 = sampler default cadence
 
+    std::string faultPlan;     ///< "" = no fault injection
+
     /** True if any xmig-scope output was requested. */
     bool
     observing() const
     {
         return !metricsOut.empty() || !samplesOut.empty() ||
                !traceOut.empty();
+    }
+
+    /**
+     * Strict decimal count: the whole string must be digits (no
+     * sign, no blanks, no suffix) and fit in uint64_t.
+     */
+    static uint64_t
+    parseCount(const char *flag, const char *text)
+    {
+        if (text == nullptr || *text == '\0')
+            XMIG_FATAL("%s requires a value", flag);
+        for (const char *p = text; *p != '\0'; ++p) {
+            if (*p < '0' || *p > '9')
+                XMIG_FATAL("%s: '%s' is not a non-negative integer",
+                           flag, text);
+        }
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(text, &end, 10);
+        if (errno == ERANGE || end == nullptr || *end != '\0')
+            XMIG_FATAL("%s: '%s' overflows a 64-bit count", flag,
+                       text);
+        return static_cast<uint64_t>(v);
     }
 
     static BenchOptions
@@ -58,13 +95,22 @@ struct BenchOptions
                 return i + 1 < argc ? argv[++i] : "";
             };
             if (arg == "--instr")
-                opt.instructions = std::strtoull(next(), nullptr, 10);
+                opt.instructions = parseCount("--instr", next());
             else if (arg == "--warmup")
-                opt.warmup = std::strtoull(next(), nullptr, 10);
-            else if (arg == "--scale")
-                scale = std::strtod(next(), nullptr);
-            else if (arg == "--seed")
-                opt.seed = std::strtoull(next(), nullptr, 10);
+                opt.warmup = parseCount("--warmup", next());
+            else if (arg == "--scale") {
+                const char *text = next();
+                errno = 0;
+                char *end = nullptr;
+                scale = std::strtod(text, &end);
+                if (*text == '\0' || end == nullptr || *end != '\0' ||
+                    !std::isfinite(scale) || scale <= 0.0) {
+                    XMIG_FATAL("--scale: '%s' is not a positive "
+                               "finite number",
+                               text);
+                }
+            } else if (arg == "--seed")
+                opt.seed = parseCount("--seed", next());
             else if (arg == "--bench")
                 opt.benchmarks.emplace_back(next());
             else if (arg == "--metrics-out")
@@ -74,7 +120,13 @@ struct BenchOptions
             else if (arg == "--trace-out")
                 opt.traceOut = next();
             else if (arg == "--sample-every")
-                opt.sampleEvery = std::strtoull(next(), nullptr, 10);
+                opt.sampleEvery = parseCount("--sample-every", next());
+            else if (arg == "--fault-plan") {
+                opt.faultPlan = next();
+                // Validate eagerly so a typo dies at the command
+                // line, not after minutes of warm-up.
+                FaultPlan::parseOrFatal(opt.faultPlan);
+            }
         }
         opt.instructions = static_cast<uint64_t>(
             static_cast<double>(opt.instructions) * scale);

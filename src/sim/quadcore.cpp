@@ -85,6 +85,10 @@ runQuadcore(const std::string &benchmark, const QuadcoreParams &params,
 
     MachineConfig base_cfg = params.machine;
     base_cfg.numCores = 1;
+    // The fault plan targets the migration machine only: the baseline
+    // must stay a clean reference (and a single-core machine would
+    // just warn the plan away).
+    base_cfg.faultPlan.clear();
     MigrationMachine baseline(base_cfg);
 
     MachineConfig mig_cfg = params.machine;

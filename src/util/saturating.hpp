@@ -33,7 +33,8 @@ class SatInt
     explicit SatInt(unsigned bits)
         : value_(0),
           min_(minForBits(bits)),
-          max_(maxForBits(bits))
+          max_(maxForBits(bits)),
+          bits_(bits)
     {
     }
 
@@ -63,6 +64,7 @@ class SatInt
     int64_t get() const { return value_; }
     int64_t min() const { return min_; }
     int64_t max() const { return max_; }
+    unsigned bits() const { return bits_; }
 
     /** True if the counter sits at either saturation bound. */
     bool saturated() const { return value_ == min_ || value_ == max_; }
@@ -119,6 +121,7 @@ class SatInt
     int64_t value_;
     int64_t min_;
     int64_t max_;
+    unsigned bits_;
 };
 
 /**

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Grammar and validation tests for xmig-iron fault plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+
+namespace xmig {
+namespace {
+
+FaultPlan
+mustParse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(FaultPlan::parse(spec, &plan, &error)) << error;
+    return plan;
+}
+
+std::string
+mustFail(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse(spec, &plan, &error)) << spec;
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(FaultPlan, EmptySpecIsInert)
+{
+    const FaultPlan plan = mustParse("");
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ParsesTheDocExample)
+{
+    const FaultPlan plan = mustParse(
+        "seed=7;at=500000:core_off=2;at=900000:core_on=2;"
+        "rate=1e-5:flip=oe;rate=1e-6:mig_drop;rate=1e-6:bus_drop");
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.scheduled.size(), 2u);
+    ASSERT_EQ(plan.rates.size(), 3u);
+    EXPECT_EQ(plan.scheduled[0].site, FaultSite::CoreOff);
+    EXPECT_EQ(plan.scheduled[0].at, 500'000u);
+    EXPECT_EQ(plan.scheduled[0].core, 2u);
+    EXPECT_EQ(plan.scheduled[1].site, FaultSite::CoreOn);
+    EXPECT_DOUBLE_EQ(plan.rates[0].rate, 1e-5);
+    EXPECT_EQ(plan.rates[0].site, FaultSite::OeEntry);
+    EXPECT_EQ(plan.rates[1].site, FaultSite::MigDrop);
+    EXPECT_EQ(plan.rates[2].site, FaultSite::BusDrop);
+}
+
+TEST(FaultPlan, ScheduledRulesSortByTick)
+{
+    const FaultPlan plan = mustParse(
+        "at=900:flip=ae;at=100:flip=delta;at=500:flip=ar");
+    ASSERT_EQ(plan.scheduled.size(), 3u);
+    EXPECT_EQ(plan.scheduled[0].at, 100u);
+    EXPECT_EQ(plan.scheduled[1].at, 500u);
+    EXPECT_EQ(plan.scheduled[2].at, 900u);
+}
+
+TEST(FaultPlan, ParsesEveryFlipSite)
+{
+    const FaultPlan plan = mustParse(
+        "at=1:flip=ae;at=2:flip=delta;at=3:flip=ar;at=4:flip=oe;"
+        "at=5:flip=tag");
+    ASSERT_EQ(plan.scheduled.size(), 5u);
+    EXPECT_EQ(plan.scheduled[0].site, FaultSite::Ae);
+    EXPECT_EQ(plan.scheduled[1].site, FaultSite::Delta);
+    EXPECT_EQ(plan.scheduled[2].site, FaultSite::Ar);
+    EXPECT_EQ(plan.scheduled[3].site, FaultSite::OeEntry);
+    EXPECT_EQ(plan.scheduled[4].site, FaultSite::CacheTag);
+}
+
+TEST(FaultPlan, MigDelayCarriesItsDelay)
+{
+    const FaultPlan plan = mustParse("rate=0.5:mig_delay=16");
+    ASSERT_EQ(plan.rates.size(), 1u);
+    EXPECT_EQ(plan.rates[0].site, FaultSite::MigDelay);
+    EXPECT_EQ(plan.rates[0].delay, 16u);
+}
+
+TEST(FaultPlan, TargetsReportsBothFlavors)
+{
+    const FaultPlan plan =
+        mustParse("at=10:flip=delta;rate=1e-4:bus_drop");
+    EXPECT_TRUE(plan.targets(FaultSite::Delta));
+    EXPECT_TRUE(plan.targets(FaultSite::BusDrop));
+    EXPECT_FALSE(plan.targets(FaultSite::Ae));
+    EXPECT_FALSE(plan.targets(FaultSite::MigDrop));
+}
+
+TEST(FaultPlan, SiteNamesAreStable)
+{
+    EXPECT_STREQ(faultSiteName(FaultSite::Ae), "ae");
+    EXPECT_STREQ(faultSiteName(FaultSite::Delta), "delta");
+    EXPECT_STREQ(faultSiteName(FaultSite::Ar), "ar");
+    EXPECT_STREQ(faultSiteName(FaultSite::OeEntry), "oe");
+    EXPECT_STREQ(faultSiteName(FaultSite::CacheTag), "tag");
+    EXPECT_STREQ(faultSiteName(FaultSite::MigDrop), "mig_drop");
+    EXPECT_STREQ(faultSiteName(FaultSite::MigDelay), "mig_delay");
+    EXPECT_STREQ(faultSiteName(FaultSite::BusDrop), "bus_drop");
+    EXPECT_STREQ(faultSiteName(FaultSite::CoreOff), "core_off");
+    EXPECT_STREQ(faultSiteName(FaultSite::CoreOn), "core_on");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs)
+{
+    mustFail("at=:flip=ae");            // missing tick
+    mustFail("at=5:flip=bogus");        // unknown flip site
+    mustFail("at=5:warp_core");         // unknown event
+    mustFail("rate=2.0:bus_drop");      // probability > 1
+    mustFail("rate=-0.1:bus_drop");     // negative probability
+    mustFail("rate=nope:bus_drop");     // non-numeric rate
+    mustFail("at=5:core_off=64");       // core id out of range
+    mustFail("at=5:core_off=");         // missing core id
+    mustFail("at=5:mig_delay=0");       // zero delay
+    mustFail("at=5:mig_drop=3");        // stray argument
+    mustFail("seed=");                  // missing seed value
+    mustFail("frobnicate=1");           // unknown statement
+}
+
+TEST(FaultPlan, FailedParseLeavesPlanUntouched)
+{
+    FaultPlan plan = mustParse("seed=9;at=10:flip=ae");
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse("garbage", &plan, &error));
+    EXPECT_EQ(plan.seed, 9u);
+    ASSERT_EQ(plan.scheduled.size(), 1u);
+}
+
+TEST(FaultPlanDeathTest, ParseOrFatalDiesCleanly)
+{
+    EXPECT_EXIT(FaultPlan::parseOrFatal("at=5:flip=bogus"),
+                ::testing::ExitedWithCode(1), "fault-plan");
+}
+
+} // namespace
+} // namespace xmig

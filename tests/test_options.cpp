@@ -48,6 +48,60 @@ TEST(BenchOptions, ScaleMultipliesBudget)
     EXPECT_EQ(opt.instructions, 2500u);
 }
 
+TEST(BenchOptions, ParsesFaultPlan)
+{
+    const BenchOptions opt =
+        parse({"--fault-plan", "seed=7;at=1000:core_off=2"});
+    EXPECT_EQ(opt.faultPlan, "seed=7;at=1000:core_off=2");
+}
+
+// XMIG_FATAL exits with status 1; each bad value must die with a
+// message naming the flag instead of silently parsing as 0.
+TEST(BenchOptionsDeathTest, RejectsNegativeCount)
+{
+    EXPECT_EXIT(parse({"--instr", "-5"}),
+                ::testing::ExitedWithCode(1), "--instr");
+}
+
+TEST(BenchOptionsDeathTest, RejectsNonNumericCount)
+{
+    EXPECT_EXIT(parse({"--warmup", "lots"}),
+                ::testing::ExitedWithCode(1), "--warmup");
+}
+
+TEST(BenchOptionsDeathTest, RejectsTrailingGarbage)
+{
+    EXPECT_EXIT(parse({"--sample-every", "100k"}),
+                ::testing::ExitedWithCode(1), "--sample-every");
+}
+
+TEST(BenchOptionsDeathTest, RejectsMissingValue)
+{
+    EXPECT_EXIT(parse({"--instr"}), ::testing::ExitedWithCode(1),
+                "requires a value");
+}
+
+TEST(BenchOptionsDeathTest, RejectsOverflowingCount)
+{
+    // 2^64 = 18446744073709551616 does not fit in uint64_t.
+    EXPECT_EXIT(parse({"--instr", "18446744073709551616"}),
+                ::testing::ExitedWithCode(1), "overflows");
+}
+
+TEST(BenchOptionsDeathTest, RejectsNonPositiveScale)
+{
+    EXPECT_EXIT(parse({"--scale", "0"}),
+                ::testing::ExitedWithCode(1), "--scale");
+    EXPECT_EXIT(parse({"--scale", "nan"}),
+                ::testing::ExitedWithCode(1), "--scale");
+}
+
+TEST(BenchOptionsDeathTest, RejectsMalformedFaultPlan)
+{
+    EXPECT_EXIT(parse({"--fault-plan", "at=5:flip=bogus"}),
+                ::testing::ExitedWithCode(1), "fault-plan");
+}
+
 TEST(QuadcoreWarmup, ExcludesWarmupEvents)
 {
     QuadcoreParams cold;

@@ -104,44 +104,165 @@ TEST(TraceIo, WorkloadTraceReplaysIdentically)
     std::remove(path.c_str());
 }
 
+std::string
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::string data(static_cast<size_t>(std::ftell(f)), '\0');
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    return data;
+}
+
+void
+writeAll(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f),
+              data.size());
+    std::fclose(f);
+}
+
+TEST(TraceIo, MissingFileReportsOpenFailed)
+{
+    TraceReader reader(std::string(::testing::TempDir()) +
+                       "/xmig_trace_does_not_exist.bin");
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error, TraceIoError::OpenFailed);
+    MemRef ref;
+    EXPECT_FALSE(reader.next(&ref));
+}
+
 TEST(TraceIo, RejectsNonTraceFile)
 {
     const std::string path = tempPath("garbage");
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    ASSERT_NE(f, nullptr);
-    std::fputs("definitely not a trace", f);
-    std::fclose(f);
-    EXPECT_DEATH({ TraceReader reader(path); }, "not an xmig trace");
+    // Same length as the magic so only the bytes are wrong.
+    writeAll(path, "notatrce");
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error, TraceIoError::BadMagic);
+    EXPECT_NE(reader.status().message.find("not an xmig trace"),
+              std::string::npos);
+    MemRef ref;
+    EXPECT_FALSE(reader.next(&ref));
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, DiesOnTruncatedRecord)
+TEST(TraceIo, ShortReadInsideMagic)
+{
+    const std::string path = tempPath("shortmagic");
+    writeAll(path, "XMIG"); // first half of the 8-byte magic
+    TraceReader reader(path);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error, TraceIoError::ShortMagic);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordReportsByteOffset)
 {
     const std::string path = tempPath("truncated");
     {
         TraceWriter writer(path);
+        writer.access(MemRef::load(0x1000));
         writer.access(MemRef::load(0x123456789abcULL));
     }
-    // Chop the final varint byte off.
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fclose(f);
-    std::string data(static_cast<size_t>(size), '\0');
-    f = std::fopen(path.c_str(), "rb");
-    ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
-    std::fclose(f);
-    f = std::fopen(path.c_str(), "wb");
-    std::fwrite(data.data(), 1, data.size() - 1, f);
-    std::fclose(f);
+    // Chop the final varint byte, leaving record 1 intact and
+    // record 2 cut mid-varint.
+    std::string data = readAll(path);
+    const uint64_t truncated_size = data.size() - 1;
+    writeAll(path, data.substr(0, truncated_size));
+
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.ok());
+    MemRef ref;
+    EXPECT_TRUE(reader.next(&ref));
+    EXPECT_EQ(ref.addr, 0x1000u);
+    EXPECT_FALSE(reader.next(&ref));
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error, TraceIoError::TruncatedRecord);
+    EXPECT_EQ(reader.status().offset, truncated_size);
+    // Sticky: further reads keep failing with the first error.
+    EXPECT_FALSE(reader.next(&ref));
+    EXPECT_EQ(reader.status().error, TraceIoError::TruncatedRecord);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadRecordTypeReportsByteOffset)
+{
+    const std::string path = tempPath("badtype");
+    {
+        TraceWriter writer(path);
+        writer.access(MemRef::ifetch(0x400000));
+    }
+    std::string data = readAll(path);
+    data[8] = 0x3; // control byte: RefType 3 does not exist
+    writeAll(path, data);
 
     TraceReader reader(path);
     MemRef ref;
-    EXPECT_DEATH({
-        while (reader.next(&ref)) {
-        }
-    }, "truncated");
+    EXPECT_FALSE(reader.next(&ref));
+    EXPECT_EQ(reader.status().error, TraceIoError::BadRecordType);
+    EXPECT_EQ(reader.status().offset, 9u);
     std::remove(path.c_str());
+}
+
+TEST(TraceIo, CorruptVarintReportsError)
+{
+    const std::string path = tempPath("badvarint");
+    // Magic + a load record whose varint never terminates.
+    std::string data = "XMIGTRC1";
+    data += static_cast<char>(0x01); // RefType::Load
+    for (int i = 0; i < 11; ++i)
+        data += static_cast<char>(0x80); // continuation forever
+    writeAll(path, data);
+
+    TraceReader reader(path);
+    MemRef ref;
+    EXPECT_FALSE(reader.next(&ref));
+    EXPECT_EQ(reader.status().error, TraceIoError::CorruptVarint);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayStopsAtCorruption)
+{
+    const std::string path = tempPath("midreplay");
+    RefRecorder original;
+    for (uint64_t i = 0; i < 100; ++i)
+        original.access(MemRef::load(0x1000 + i * 64));
+    {
+        TraceWriter writer(path);
+        original.replay(writer);
+    }
+    std::string data = readAll(path);
+    writeAll(path, data.substr(0, data.size() - 1));
+
+    TraceReader reader(path);
+    RefRecorder replayed;
+    EXPECT_EQ(reader.replay(replayed), 99u);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().error, TraceIoError::TruncatedRecord);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ErrorNamesAreStable)
+{
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::None), "none");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::OpenFailed),
+                 "open_failed");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::ShortMagic),
+                 "short_magic");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::BadMagic),
+                 "bad_magic");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::TruncatedRecord),
+                 "truncated_record");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::CorruptVarint),
+                 "corrupt_varint");
+    EXPECT_STREQ(traceIoErrorName(TraceIoError::BadRecordType),
+                 "bad_record_type");
 }
 
 } // namespace
