@@ -9,12 +9,18 @@
  * 1/2^(1+b-16). On a splittable (Circular) set, extra bits only add
  * detection delay at subset boundaries. This bench measures both
  * sides of the trade.
+ *
+ * Every (regime, filter-bits) pair is one sweep cell (xmig-swift);
+ * cells carry their own stream, store and splitter, so --jobs N
+ * output is bit-identical to the serial run.
  */
 
 #include <cstdio>
 
 #include "core/oe_store.hpp"
 #include "core/splitter.hpp"
+#include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "util/stats.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -22,8 +28,8 @@ using namespace xmig;
 
 namespace {
 
-void
-randomCase(AsciiTable &table, unsigned filter_bits)
+SweepRow
+randomCase(unsigned filter_bits)
 {
     UniformRandomStream stream(4000);
     UnboundedOeStore store(16);
@@ -45,11 +51,11 @@ randomCase(AsciiTable &table, unsigned filter_bits)
     std::snprintf(pred, sizeof(pred), "%.5f",
                   1.0 / static_cast<double>(
                             1ULL << (1 + filter_bits - 16)));
-    table.addRow({fb, frequency(trans, kMeasure), pred});
+    return {"", {fb, frequency(trans, kMeasure), pred}};
 }
 
-void
-circularCase(AsciiTable &table, unsigned filter_bits)
+SweepRow
+circularCase(unsigned filter_bits)
 {
     // Measure transitions per cycle and total migration opportunity
     // on a splittable stream: extra bits must not stop transitions.
@@ -72,13 +78,11 @@ circularCase(AsciiTable &table, unsigned filter_bits)
     std::snprintf(fb, sizeof(fb), "%u", filter_bits);
     std::snprintf(per_cycle, sizeof(per_cycle), "%.2f",
                   static_cast<double>(trans) / (kMeasure / 4000.0));
-    table.addRow({fb, frequency(trans, kMeasure), per_cycle});
+    return {"", {fb, frequency(trans, kMeasure), per_cycle}};
 }
 
-} // namespace
-
-void
-saturatedCase(AsciiTable &table, unsigned filter_bits)
+SweepRow
+saturatedCase(unsigned filter_bits)
 {
     // The regime the paper's 1/2^(1+b-16) formula describes: the
     // affinity "appears saturated positive or negative with
@@ -94,43 +98,69 @@ saturatedCase(AsciiTable &table, unsigned filter_bits)
     std::snprintf(pred, sizeof(pred), "%.5f",
                   1.0 / static_cast<double>(
                             1ULL << (1 + filter_bits - 16)));
-    table.addRow({fb, frequency(filter.transitions(), kSteps), pred});
+    return {"", {fb, frequency(filter.transitions(), kSteps), pred}};
 }
 
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Transition-filter ablation (section 3.4), "
-                "16-bit affinities, |R| = 100\n\n");
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    constexpr unsigned kMinBits = 16, kMaxBits = 22;
+    constexpr size_t kPerRegime = kMaxBits - kMinBits + 1;
+
+    // Cells 0..6 saturated, 7..13 random, 14..20 circular.
+    SweepSpec spec;
+    spec.cells = 3 * kPerRegime;
+    spec.run = [&](size_t i) {
+        const unsigned bits =
+            kMinBits + static_cast<unsigned>(i % kPerRegime);
+        RunResult res;
+        if (i < kPerRegime)
+            res.rows.push_back(saturatedCase(bits));
+        else if (i < 2 * kPerRegime)
+            res.rows.push_back(randomCase(bits));
+        else
+            res.rows.push_back(circularCase(bits));
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+    const auto slice = [&](size_t regime, AsciiTable &table) {
+        const std::vector<RunResult> part(
+            results.begin() +
+                static_cast<long>(regime * kPerRegime),
+            results.begin() +
+                static_cast<long>((regime + 1) * kPerRegime));
+        collateRows(part, table);
+    };
+
+    std::string out =
+        "Transition-filter ablation (section 3.4), "
+        "16-bit affinities, |R| = 100\n\n";
 
     AsciiTable sat({"filter-bits", "trans-freq(saturated)",
                     "predicted 1/2^(1+b-16)"});
-    for (unsigned b = 16; b <= 22; ++b)
-        saturatedCase(sat, b);
-    std::fputs(sat.render("Saturated +/-2^15 random inputs (the "
-                          "formula's regime): measured vs predicted")
-                   .c_str(),
-               stdout);
+    slice(0, sat);
+    out += sat.render("Saturated +/-2^15 random inputs (the "
+                      "formula's regime): measured vs predicted");
 
-    std::printf("\n");
+    out += "\n";
     AsciiTable rnd({"filter-bits", "trans-freq(random)",
                     "predicted 1/2^(1+b-16)"});
-    for (unsigned b = 16; b <= 22; ++b)
-        randomCase(rnd, b);
-    std::fputs(rnd.render("Engine-driven uniform-random stream: "
-                          "affinities are not always saturated, so "
-                          "frequencies sit below the bound but still "
-                          "halve per bit").c_str(),
-               stdout);
+    slice(1, rnd);
+    out += rnd.render("Engine-driven uniform-random stream: "
+                      "affinities are not always saturated, so "
+                      "frequencies sit below the bound but still "
+                      "halve per bit");
 
-    std::printf("\n");
+    out += "\n";
     AsciiTable circ({"filter-bits", "trans-freq(circular)",
                      "transitions/cycle"});
-    for (unsigned b = 16; b <= 22; ++b)
-        circularCase(circ, b);
-    std::fputs(circ.render("Splittable (Circular N=4000) stream: "
-                           "transitions survive (2/cycle ideal), only "
-                           "delayed").c_str(),
-               stdout);
+    slice(2, circ);
+    out += circ.render("Splittable (Circular N=4000) stream: "
+                       "transitions survive (2/cycle ideal), only "
+                       "delayed");
+    flushAtomically(out, stdout);
     return 0;
 }

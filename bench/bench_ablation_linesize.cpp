@@ -8,11 +8,16 @@
  * profile experiment at 32/64/128/256-byte lines on representative
  * splittable benchmarks and reports the p1-p4 gap and the transition
  * frequency.
+ *
+ * One sweep cell per (benchmark, line size) pair (xmig-swift); rows
+ * collate in sweep order, so --jobs N output is bit-identical to the
+ * serial run.
  */
 
 #include <cstdio>
 
 #include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "sim/stack_profile.hpp"
 #include "util/stats.hpp"
 
@@ -23,31 +28,42 @@ main(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     if (opt.instructions == 20'000'000)
-        opt.instructions = 10'000'000;
+        opt.instructions = opt.smoke ? 1'000'000 : 10'000'000;
 
     const std::vector<std::string> benches =
         opt.benchmarks.empty()
             ? std::vector<std::string>{"179.art", "188.ammp", "health"}
             : opt.benchmarks;
+    const uint64_t lines[] = {32, 64, 128, 256};
+    constexpr size_t kNumLines = 4;
+
+    SweepSpec spec;
+    spec.cells = benches.size() * kNumLines;
+    spec.run = [&](size_t i) {
+        const std::string &name = benches[i / kNumLines];
+        const uint64_t line = lines[i % kNumLines];
+        StackProfileParams params;
+        params.instructionsPerBenchmark = opt.instructions;
+        params.seed = opt.seed;
+        params.lineBytes = line;
+        const StackProfileResult r = runStackProfile(name, params);
+        char gap[16];
+        std::snprintf(gap, sizeof(gap), "%.3f", r.maxGap());
+        RunResult res;
+        res.rows.push_back(
+            {"",
+             {r.name, sizeLabel(line), gap,
+              frequency(r.transitions, r.stackAccesses),
+              sizeLabel(r.footprintLines * line)}});
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
 
     AsciiTable table({"benchmark", "line", "max(p1-p4)", "trans-freq",
                       "footprint"});
-    for (const auto &name : benches) {
-        for (uint64_t line : {32, 64, 128, 256}) {
-            StackProfileParams params;
-            params.instructionsPerBenchmark = opt.instructions;
-            params.seed = opt.seed;
-            params.lineBytes = line;
-            const StackProfileResult r = runStackProfile(name, params);
-            char gap[16];
-            std::snprintf(gap, sizeof(gap), "%.3f", r.maxGap());
-            table.addRow({r.name, sizeLabel(line), gap,
-                          frequency(r.transitions, r.stackAccesses),
-                          sizeLabel(r.footprintLines * line)});
-        }
-    }
-    std::fputs(table.render("Line-size ablation: splittability gap "
-                            "p1-p4 vs line size").c_str(),
-               stdout);
+    collateRows(results, table);
+    flushAtomically(table.render("Line-size ablation: splittability "
+                                 "gap p1-p4 vs line size"),
+                    stdout);
     return 0;
 }

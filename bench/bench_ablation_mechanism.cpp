@@ -9,31 +9,46 @@
  *  - L2 filtering on/off: how much it suppresses useless migrations
  *    on working-sets that fit one L2 (the paper credits it for bh,
  *    vortex, crafty staying quiet).
+ *
+ * Every (benchmark, variant) run is one sweep cell (xmig-swift);
+ * rows collate per table in sweep order, so --jobs N output is
+ * bit-identical to the serial run.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "sim/options.hpp"
 #include "sim/quadcore.hpp"
+#include "sim/runner/sweep.hpp"
 #include "util/stats.hpp"
 
 using namespace xmig;
 
 namespace {
 
-void
-runCfg(AsciiTable &table, const std::string &bench, const char *label,
-       const MigrationControllerConfig &cc, const BenchOptions &opt)
+/** One ablation run: a controller variant applied to one benchmark. */
+struct Case
+{
+    size_t table; ///< 0 = A_R, 1 = R-window, 2 = L2 filtering
+    const char *bench;
+    const char *label;
+    MigrationControllerConfig cc;
+};
+
+SweepRow
+runCfg(const Case &c, const BenchOptions &opt)
 {
     QuadcoreParams params;
     params.instructionsPerBenchmark = opt.instructions;
     params.seed = opt.seed;
-    params.machine.controller = cc;
-    const QuadcoreRow r = runQuadcore(bench, params);
+    params.machine.controller = c.cc;
+    const QuadcoreRow r = runQuadcore(c.bench, params);
     char migs[24];
     std::snprintf(migs, sizeof(migs), "%llu",
                   (unsigned long long)r.migrations);
-    table.addRow({r.name, label, ratio2(r.missRatio()), migs});
+    return {"", {r.name, c.label, ratio2(r.missRatio()), migs}};
 }
 
 } // namespace
@@ -43,43 +58,65 @@ main(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     if (opt.instructions == 20'000'000)
-        opt.instructions = 10'000'000;
+        opt.instructions = opt.smoke ? 1'000'000 : 10'000'000;
 
-    const MigrationControllerConfig base = MachineConfig::defaultController();
+    const MigrationControllerConfig base =
+        MachineConfig::defaultController();
 
-    AsciiTable ar({"benchmark", "A_R maintenance", "ratio", "migrations"});
+    std::vector<Case> cases;
     for (const char *b : {"179.art", "health", "164.gzip"}) {
         MigrationControllerConfig cc = base;
         cc.ar = ArKind::Exact;
-        runCfg(ar, b, "Exact (Definition 1)", cc, opt);
+        cases.push_back({0, b, "Exact (Definition 1)", cc});
         cc.ar = ArKind::Figure2;
-        runCfg(ar, b, "Figure-2 register", cc, opt);
+        cases.push_back({0, b, "Figure-2 register", cc});
     }
-    std::fputs(ar.render("A_R maintenance ablation").c_str(), stdout);
-
-    std::printf("\n");
-    AsciiTable win({"benchmark", "R-window", "ratio", "migrations"});
     for (const char *b : {"179.art", "health"}) {
         MigrationControllerConfig cc = base;
         cc.window = WindowKind::Fifo;
-        runCfg(win, b, "FIFO (hardware)", cc, opt);
+        cases.push_back({1, b, "FIFO (hardware)", cc});
         cc.window = WindowKind::DistinctLru;
-        runCfg(win, b, "distinct LRU (ideal)", cc, opt);
+        cases.push_back({1, b, "distinct LRU (ideal)", cc});
     }
-    std::fputs(win.render("R-window organization ablation").c_str(),
-               stdout);
-
-    std::printf("\n");
-    AsciiTable l2f({"benchmark", "L2 filtering", "ratio", "migrations"});
     for (const char *b : {"bh", "300.twolf", "186.crafty", "179.art"}) {
         MigrationControllerConfig cc = base;
         cc.l2Filtering = true;
-        runCfg(l2f, b, "on (paper)", cc, opt);
+        cases.push_back({2, b, "on (paper)", cc});
         cc.l2Filtering = false;
-        runCfg(l2f, b, "off", cc, opt);
+        cases.push_back({2, b, "off", cc});
     }
-    std::fputs(l2f.render("L2-filtering ablation: small-footprint "
-                          "benchmarks must stay quiet").c_str(),
-               stdout);
+
+    SweepSpec spec;
+    spec.cells = cases.size();
+    spec.run = [&](size_t i) {
+        RunResult res;
+        res.rows.push_back(runCfg(cases[i], opt));
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+    const auto slice = [&](size_t which, AsciiTable &table) {
+        for (size_t i = 0; i < cases.size(); ++i) {
+            if (cases[i].table == which)
+                collateRows({results[i]}, table);
+        }
+    };
+
+    AsciiTable ar({"benchmark", "A_R maintenance", "ratio",
+                   "migrations"});
+    slice(0, ar);
+    std::string out = ar.render("A_R maintenance ablation");
+
+    out += "\n";
+    AsciiTable win({"benchmark", "R-window", "ratio", "migrations"});
+    slice(1, win);
+    out += win.render("R-window organization ablation");
+
+    out += "\n";
+    AsciiTable l2f({"benchmark", "L2 filtering", "ratio",
+                    "migrations"});
+    slice(2, l2f);
+    out += l2f.render("L2-filtering ablation: small-footprint "
+                      "benchmarks must stay quiet");
+    flushAtomically(out, stdout);
     return 0;
 }

@@ -9,11 +9,19 @@
  *    under ~1/(2|R|) (the R-window acts as a low-pass filter);
  *  - HalfRandom(m) requires |R| not much larger than m for the
  *    positive feedback to act on synchronous groups.
+ *
+ * Each (stream, |R|) case is one sweep cell (xmig-swift); rows carry
+ * their section label and collate in case order, so --jobs N output
+ * is bit-identical to the serial run.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "sim/snapshot.hpp"
 #include "util/stats.hpp"
 
@@ -29,9 +37,9 @@ makeStream(const char *behavior, uint64_t n, uint64_t m)
     return std::make_unique<HalfRandomStream>(n, m);
 }
 
-void
-report(AsciiTable &table, const char *behavior, uint64_t n, uint64_t m,
-       size_t window, uint64_t refs)
+SweepRow
+report(const std::string &section, const char *behavior, uint64_t n,
+       uint64_t m, size_t window, uint64_t refs)
 {
     SnapshotParams params;
     params.numElements = n;
@@ -78,35 +86,60 @@ report(AsciiTable &table, const char *behavior, uint64_t n, uint64_t m,
     std::snprintf(freq, sizeof(freq), "%.5f", r.transitionFrequency);
     std::snprintf(bound, sizeof(bound), "%.5f",
                   1.0 / (2.0 * static_cast<double>(window)));
-    table.addRow({nbuf, wbuf, bal, freq, bound,
-                  split ? "yes" : "no"});
+    return {section,
+            {nbuf, wbuf, bal, freq, bound, split ? "yes" : "no"}};
 }
+
+/** One sweep case: stream parameters under a section label. */
+struct Case
+{
+    std::string section;
+    const char *behavior;
+    uint64_t n;
+    uint64_t m;
+    size_t window;
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("R-window ablation (section 3.3): Circular splits iff "
-                "N > 2|R|;\nHalfRandom(m) needs |R| <~ m.\n\n");
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const uint64_t kRefs = 1'500'000;
+
+    std::vector<Case> cases;
+    const std::string sec1 =
+        "Circular, N = 4000: threshold at |R| = 2000";
+    for (size_t w : {50, 100, 500, 1000, 1900, 2000, 2500, 3900})
+        cases.push_back({sec1, "Circular", 4000, 0, w});
+    const std::string sec2 = "Circular, N fixed to 2|R| +/- epsilon";
+    for (uint64_t n : {260, 256, 250})
+        cases.push_back({sec2, "Circular", n, 0, 128});
+    const std::string sec3 =
+        "HalfRandom(m=300), N = 4000: |R| <~ m required";
+    for (size_t w : {50, 100, 300, 600, 1200})
+        cases.push_back({sec3, "HalfRandom", 4000, 300, w});
+
+    SweepSpec spec;
+    spec.cells = cases.size();
+    spec.run = [&](size_t i) {
+        const Case &c = cases[i];
+        RunResult res;
+        res.rows.push_back(
+            report(c.section, c.behavior, c.n, c.m, c.window, kRefs));
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
 
     AsciiTable table({"stream", "|R|", "balance", "trans-freq",
                       "1/(2|R|)", "split?"});
-    const uint64_t kRefs = 1'500'000;
+    collateRows(results, table);
 
-    table.addSection("Circular, N = 4000: threshold at |R| = 2000");
-    for (size_t w : {50, 100, 500, 1000, 1900, 2000, 2500, 3900})
-        report(table, "Circular", 4000, 0, w, kRefs);
-
-    table.addSection("Circular, N fixed to 2|R| +/- epsilon");
-    report(table, "Circular", 260, 0, 128, kRefs);
-    report(table, "Circular", 256, 0, 128, kRefs);
-    report(table, "Circular", 250, 0, 128, kRefs);
-
-    table.addSection("HalfRandom(m=300), N = 4000: |R| <~ m required");
-    for (size_t w : {50, 100, 300, 600, 1200})
-        report(table, "HalfRandom", 4000, 300, w, kRefs);
-
-    std::fputs(table.render().c_str(), stdout);
+    std::string out =
+        "R-window ablation (section 3.3): Circular splits iff "
+        "N > 2|R|;\nHalfRandom(m) needs |R| <~ m.\n\n";
+    out += table.render();
+    flushAtomically(out, stdout);
     return 0;
 }

@@ -11,12 +11,17 @@
  * Expected shape: each benchmark starts benefiting once the total L2
  * crosses its working-set size — e.g. 181.mcf (~4 MB hot footprint)
  * gains little at 4 cores but much more at 8.
+ *
+ * One sweep cell per benchmark (xmig-swift): all four machines and
+ * the workload stream live inside the cell, so --jobs N output is
+ * bit-identical to the serial run.
  */
 
 #include <cstdio>
 
 #include "multicore/machine.hpp"
 #include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
 
@@ -27,7 +32,7 @@ main(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
     if (opt.instructions == 20'000'000)
-        opt.instructions = 12'000'000;
+        opt.instructions = opt.smoke ? 1'000'000 : 12'000'000;
 
     const std::vector<std::string> benches =
         opt.benchmarks.empty()
@@ -35,9 +40,10 @@ main(int argc, char **argv)
                                        "197.parser", "mst", "health"}
             : opt.benchmarks;
 
-    AsciiTable table({"benchmark", "cores", "totalL2", "instr/L2miss",
-                      "ratio-vs-1core", "instr/migration"});
-    for (const auto &name : benches) {
+    SweepSpec spec;
+    spec.cells = benches.size();
+    spec.run = [&](size_t idx) {
+        const std::string &name = benches[idx];
         // Run all four machines over one generated stream.
         MachineConfig c1, c2, c4, c8;
         c1.numCores = 1;
@@ -55,6 +61,7 @@ main(int argc, char **argv)
         auto workload = makeWorkload(name);
         workload->run(all, opt.instructions, opt.seed);
 
+        RunResult res;
         const MigrationMachine *machines[] = {&m1, &m2, &m4, &m8};
         for (const MigrationMachine *m : machines) {
             const auto &s = m->stats();
@@ -65,17 +72,25 @@ main(int argc, char **argv)
                 ? 1.0
                 : static_cast<double>(s.l2Misses) /
                   static_cast<double>(m1.stats().l2Misses);
-            table.addRow({workload->info().name, cores,
-                          sizeLabel(m->config().numCores *
-                                    m->config().l2Bytes),
-                          perEvent(s.instructions, s.l2Misses),
-                          ratio2(ratio),
-                          perEvent(s.instructions, s.migrations)});
+            res.rows.push_back({"",
+                                {workload->info().name, cores,
+                                 sizeLabel(m->config().numCores *
+                                           m->config().l2Bytes),
+                                 perEvent(s.instructions, s.l2Misses),
+                                 ratio2(ratio),
+                                 perEvent(s.instructions,
+                                          s.migrations)}});
         }
-    }
-    std::fputs(table.render("Core-count scaling: L2 misses vs number "
-                            "of 512-KB L2 caches the working-set can "
-                            "spread over").c_str(),
-               stdout);
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+
+    AsciiTable table({"benchmark", "cores", "totalL2", "instr/L2miss",
+                      "ratio-vs-1core", "instr/migration"});
+    collateRows(results, table);
+    flushAtomically(table.render("Core-count scaling: L2 misses vs "
+                                 "number of 512-KB L2 caches the "
+                                 "working-set can spread over"),
+                    stdout);
     return 0;
 }

@@ -8,11 +8,19 @@
  * (the shape of the paper's scatter plots), subset balance, the
  * number of same-sign segments (2 = the optimal contiguous split for
  * Circular), and the transition frequency printed on each graph.
+ *
+ * Each (behavior, t) case is one sweep cell (xmig-swift); the text
+ * blocks are collated in case order, so --jobs N output is
+ * bit-identical to the serial run.
  */
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "sim/snapshot.hpp"
 #include "util/stats.hpp"
 
@@ -20,7 +28,7 @@ using namespace xmig;
 
 namespace {
 
-void
+std::string
 runCase(const char *behavior, uint64_t refs)
 {
     constexpr uint64_t kN = 4000;
@@ -35,14 +43,24 @@ runCase(const char *behavior, uint64_t refs)
     params.references = refs;
     const SnapshotResult r = runAffinitySnapshot(*stream, params);
 
-    std::printf("\n== Figure 3: %s, t = %lluk references ==\n", behavior,
-                (unsigned long long)(refs / 1000));
-    std::printf("positive/negative elements: %llu / %llu\n",
-                (unsigned long long)r.positive,
-                (unsigned long long)r.negative);
-    std::printf("same-sign segments over element space: %llu\n",
-                (unsigned long long)r.signSegments);
-    std::printf("trans: %.4f\n", r.transitionFrequency);
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "\n== Figure 3: %s, t = %lluk references ==\n",
+                  behavior, (unsigned long long)(refs / 1000));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "positive/negative elements: %llu / %llu\n",
+                  (unsigned long long)r.positive,
+                  (unsigned long long)r.negative);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "same-sign segments over element space: %llu\n",
+                  (unsigned long long)r.signSegments);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "trans: %.4f\n",
+                  r.transitionFrequency);
+    out += buf;
 
     // Bucketed affinity profile (the shape of the scatter plot).
     constexpr unsigned kBuckets = 40;
@@ -57,23 +75,44 @@ runCase(const char *behavior, uint64_t refs)
                       (unsigned long long)(b * per));
         series.addPoint(label, {sum / static_cast<double>(per)});
     }
-    std::fputs(series.render().c_str(), stdout);
+    out += series.render();
+    return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 3 reproduction: affinity snapshots "
-                "(N = 4000, |R| = 100, 16-bit affinities)\n");
-    std::printf("Paper: after enough references both behaviors split "
-                "into two equal-size subsets;\n"
-                "Circular reaches ~1 transition per 2000 refs, "
-                "HalfRandom(300) ~1 per 300 refs.\n");
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    struct Case
+    {
+        const char *behavior;
+        uint64_t refs;
+    };
+    std::vector<Case> cases;
     for (uint64_t refs : {20'000ULL, 100'000ULL, 1'000'000ULL}) {
-        runCase("Circular", refs);
-        runCase("HalfRandom", refs);
+        cases.push_back({"Circular", refs});
+        cases.push_back({"HalfRandom", refs});
     }
+
+    SweepSpec spec;
+    spec.cells = cases.size();
+    spec.run = [&](size_t i) {
+        RunResult res;
+        res.text = runCase(cases[i].behavior, cases[i].refs);
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+
+    std::string out =
+        "Figure 3 reproduction: affinity snapshots "
+        "(N = 4000, |R| = 100, 16-bit affinities)\n"
+        "Paper: after enough references both behaviors split "
+        "into two equal-size subsets;\n"
+        "Circular reaches ~1 transition per 2000 refs, "
+        "HalfRandom(300) ~1 per 300 refs.\n";
+    out += collateText(results);
+    flushAtomically(out, stdout);
     return 0;
 }

@@ -8,11 +8,16 @@
  * A benchmark is "splittable" when p4 falls clearly below p1 over
  * some size range (paper: art, ammp, bh, health, em3d, mcf, ...);
  * non-splittable programs (gzip, vpr, parser, bisort) show p1 == p4.
+ *
+ * One sweep cell per benchmark (xmig-swift): each cell returns its
+ * figure block plus its summary-table row, both collated in benchmark
+ * order, so --jobs N output is bit-identical to the serial run.
  */
 
 #include <cstdio>
 
 #include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "sim/stack_profile.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
@@ -30,36 +35,48 @@ main(int argc, char **argv)
     const auto &names =
         opt.benchmarks.empty() ? allWorkloadNames() : opt.benchmarks;
 
-    std::printf("Figures 4-5 reproduction: p1 (normal) vs p4 (split) "
-                "LRU stack profiles\n");
-    std::printf("(fraction of L1-filtered refs with stack depth > "
-                "cache size; 20-bit filters,\n |R_X|=128, |R_Y|=64, "
-                "unlimited affinity cache)\n");
+    SweepSpec spec;
+    spec.cells = names.size();
+    spec.run = [&](size_t i) {
+        const StackProfileResult r = runStackProfile(names[i], params);
 
-    AsciiTable summary({"benchmark", "refs(M)", "trans-freq",
-                        "footprint", "max(p1-p4)", "splittable?"});
-    for (const auto &name : names) {
-        const StackProfileResult r = runStackProfile(name, params);
-
-        std::printf("\n== %s  (trans: %.4f) ==\n", r.name.c_str(),
-                    r.transitionFrequency);
+        RunResult res;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "\n== %s  (trans: %.4f) ==\n",
+                      r.name.c_str(), r.transitionFrequency);
+        res.text = buf;
         SeriesWriter series("size", {"normal_p1", "split_p4"});
-        for (size_t i = 0; i < r.plotSizes.size(); ++i) {
-            series.addPoint(sizeLabel(r.plotSizes[i]),
-                            {r.p1[i], r.p4[i]});
+        for (size_t s = 0; s < r.plotSizes.size(); ++s) {
+            series.addPoint(sizeLabel(r.plotSizes[s]),
+                            {r.p1[s], r.p4[s]});
         }
-        std::fputs(series.render().c_str(), stdout);
+        res.text += series.render();
 
         char refs_m[32], gap[32];
         std::snprintf(refs_m, sizeof(refs_m), "%.2f",
                       static_cast<double>(r.stackAccesses) / 1e6);
         std::snprintf(gap, sizeof(gap), "%.3f", r.maxGap());
-        summary.addRow({r.name, refs_m,
-                        frequency(r.transitions, r.stackAccesses),
-                        sizeLabel(r.footprintLines * 64), gap,
-                        r.maxGap() > 0.15 ? "yes" : "no"});
-    }
-    std::printf("\n");
-    std::fputs(summary.render("Splittability summary").c_str(), stdout);
+        res.rows.push_back({"",
+                            {r.name, refs_m,
+                             frequency(r.transitions, r.stackAccesses),
+                             sizeLabel(r.footprintLines * 64), gap,
+                             r.maxGap() > 0.15 ? "yes" : "no"}});
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+
+    std::string out =
+        "Figures 4-5 reproduction: p1 (normal) vs p4 (split) "
+        "LRU stack profiles\n"
+        "(fraction of L1-filtered refs with stack depth > "
+        "cache size; 20-bit filters,\n |R_X|=128, |R_Y|=64, "
+        "unlimited affinity cache)\n";
+    out += collateText(results);
+    out += "\n";
+    AsciiTable summary({"benchmark", "refs(M)", "trans-freq",
+                        "footprint", "max(p1-p4)", "splittable?"});
+    collateRows(results, summary);
+    out += summary.render("Splittability summary");
+    flushAtomically(out, stdout);
     return 0;
 }

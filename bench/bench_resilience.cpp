@@ -37,6 +37,7 @@
 #include "multicore/machine.hpp"
 #include "multicore/timing.hpp"
 #include "sim/options.hpp"
+#include "sim/runner/sweep.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
 
@@ -136,13 +137,10 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = BenchOptions::parse(argc, argv);
-    bool smoke = false;
+    const bool smoke = opt.smoke;
     std::string csv_dir;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-        else if (std::strcmp(argv[i], "--csv-dir") == 0 &&
-                 i + 1 < argc)
+        if (std::strcmp(argv[i], "--csv-dir") == 0 && i + 1 < argc)
             csv_dir = argv[++i];
     }
     if (opt.instructions == 20'000'000)
@@ -177,14 +175,35 @@ main(int argc, char **argv)
 
     AsciiTable table({"fault-rate", "L2miss", "ratio", "migration",
                       "faults", "timeouts", "wd-stops", "slowdown"});
-    uint64_t clean_misses = 0;
-    double clean_cycles = 0.0;
+
+    // The sweep points are independent simulations (the cross-point
+    // ratio/slowdown columns derive from the clean point at collation
+    // time), so each rate is one xmig-swift sweep cell.
+    std::vector<double> run_rates;
+    bool hooks_out = false;
     for (double r : rates) {
         if (r > 0.0 && !kFaultEnabled) {
-            std::printf("(fault hooks compiled out: faulted rows "
-                        "skipped)\n");
+            hooks_out = true;
             break;
         }
+        run_rates.push_back(r);
+    }
+
+    /** Raw per-point results; ratios are derived after the join. */
+    struct DegPoint
+    {
+        MachineStats stats;
+        RecoveryStats rec;
+        WatchdogStats wd;
+        uint64_t faults = 0;
+        double cycles = 0.0;
+    };
+    std::vector<DegPoint> points(run_rates.size());
+
+    SweepSpec spec;
+    spec.cells = run_rates.size();
+    spec.run = [&](size_t i) {
+        const double r = run_rates[i];
         MachineConfig cfg;
         cfg.controller.watchdog.enabled = true;
         if (r > 0.0)
@@ -192,17 +211,31 @@ main(int argc, char **argv)
         MigrationMachine machine(cfg);
         makeWorkload(bench)->run(machine, opt.instructions, opt.seed);
 
-        const MachineStats &s = machine.stats();
-        const RecoveryStats &rec = machine.controller()->recovery();
-        const WatchdogStats &wd =
-            machine.controller()->watchdog().stats();
-        const uint64_t faults =
-            machine.injector() ? machine.injector()->stats().total()
-                               : 0;
-        const double cycles = timing.cyclesWithRecovery(s, rec);
+        DegPoint &p = points[i];
+        p.stats = machine.stats();
+        p.rec = machine.controller()->recovery();
+        p.wd = machine.controller()->watchdog().stats();
+        p.faults = machine.injector()
+            ? machine.injector()->stats().total()
+            : 0;
+        p.cycles = timing.cyclesWithRecovery(p.stats, p.rec);
+        return RunResult{};
+    };
+    runSweep(spec, opt.jobs);
+
+    if (hooks_out)
+        std::printf("(fault hooks compiled out: faulted rows "
+                    "skipped)\n");
+
+    uint64_t clean_misses = 0;
+    double clean_cycles = 0.0;
+    for (size_t i = 0; i < run_rates.size(); ++i) {
+        const double r = run_rates[i];
+        const DegPoint &p = points[i];
+        const MachineStats &s = p.stats;
         if (r == 0.0) {
             clean_misses = s.l2Misses;
-            clean_cycles = cycles;
+            clean_cycles = p.cycles;
         }
         const double ratio =
             clean_misses == 0
@@ -210,18 +243,20 @@ main(int argc, char **argv)
                 : static_cast<double>(s.l2Misses) /
                       static_cast<double>(clean_misses);
         const double slowdown =
-            clean_cycles == 0.0 ? 1.0 : cycles / clean_cycles;
+            clean_cycles == 0.0 ? 1.0 : p.cycles / clean_cycles;
 
         char rb[24], miss[24], fl[24], to[24], wds[24], sd[24];
         std::snprintf(rb, sizeof(rb), "%g", r);
         std::snprintf(miss, sizeof(miss), "%llu",
                       static_cast<unsigned long long>(s.l2Misses));
         std::snprintf(fl, sizeof(fl), "%llu",
-                      static_cast<unsigned long long>(faults));
+                      static_cast<unsigned long long>(p.faults));
         std::snprintf(to, sizeof(to), "%llu",
-                      static_cast<unsigned long long>(rec.migTimeouts));
+                      static_cast<unsigned long long>(
+                          p.rec.migTimeouts));
         std::snprintf(wds, sizeof(wds), "%llu",
-                      static_cast<unsigned long long>(wd.suppressed));
+                      static_cast<unsigned long long>(
+                          p.wd.suppressed));
         std::snprintf(sd, sizeof(sd), "%.3f", slowdown);
         table.addRow({rb, miss, ratio2(ratio),
                       perEvent(s.instructions, s.migrations), fl, to,
@@ -234,14 +269,16 @@ main(int argc, char **argv)
                          static_cast<unsigned long long>(s.l2Misses),
                          ratio,
                          static_cast<unsigned long long>(s.migrations),
-                         static_cast<unsigned long long>(faults),
+                         static_cast<unsigned long long>(p.faults),
                          static_cast<unsigned long long>(
-                             rec.migTimeouts),
+                             p.rec.migTimeouts),
                          static_cast<unsigned long long>(
-                             rec.migRetries),
-                         static_cast<unsigned long long>(wd.livelocks),
-                         static_cast<unsigned long long>(wd.suppressed),
-                         cycles, slowdown);
+                             p.rec.migRetries),
+                         static_cast<unsigned long long>(
+                             p.wd.livelocks),
+                         static_cast<unsigned long long>(
+                             p.wd.suppressed),
+                         p.cycles, slowdown);
     }
     std::fputs(table.render("Degradation curve: affinity soft-error "
                             "rate vs misses, migrations and estimated "

@@ -7,6 +7,12 @@
  * cores with execution migration), the L2-miss ratio (< 1 means
  * migration removed L2 misses), and migrations. The final column is
  * the paper's measured ratio for reference.
+ *
+ * Each benchmark is one sweep cell (xmig-swift): cells run on --jobs
+ * workers with fully private machines, and the table is collated in
+ * benchmark order, so the output is bit-identical at any job count.
+ * --smoke selects a 6-benchmark subset at 1M instructions (CI and the
+ * parallel-determinism test).
  */
 
 #include <cstdio>
@@ -16,6 +22,7 @@
 #include "sim/observe.hpp"
 #include "sim/options.hpp"
 #include "sim/quadcore.hpp"
+#include "sim/runner/sweep.hpp"
 #include "util/stats.hpp"
 #include "workloads/registry.hpp"
 
@@ -33,12 +40,19 @@ const std::map<std::string, double> kPaperRatio = {
     {"em3d", 0.14}, {"health", 0.14}, {"mst", 1.00},
 };
 
+/** --smoke subset: a splittable/neutral mix that runs in seconds. */
+const std::vector<std::string> kSmokeBenches = {
+    "164.gzip", "179.art", "181.mcf", "188.ammp", "em3d", "health",
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    BenchOptions opt = BenchOptions::parse(argc, argv);
+    if (opt.smoke && opt.instructions == 20'000'000)
+        opt.instructions = 1'000'000;
     QuadcoreParams params;
     params.instructionsPerBenchmark = opt.instructions;
     params.warmupInstructions = opt.warmup;
@@ -47,8 +61,9 @@ main(int argc, char **argv)
     // baseline stays a clean reference (see runQuadcore).
     params.machine.faultPlan = opt.faultPlan;
 
-    const auto &names =
-        opt.benchmarks.empty() ? allWorkloadNames() : opt.benchmarks;
+    const std::vector<std::string> names = !opt.benchmarks.empty()
+        ? opt.benchmarks
+        : opt.smoke ? kSmokeBenches : allWorkloadNames();
 
     // xmig-scope outputs observe the first selected benchmark (one
     // registry per run; see sim/observe.hpp).
@@ -57,37 +72,41 @@ main(int argc, char **argv)
         observatory =
             std::make_unique<RunObservatory>(observeOptionsOf(opt));
 
+    SweepSpec spec;
+    spec.cells = names.size();
+    spec.run = [&](size_t i) {
+        const QuadcoreRow r =
+            runQuadcore(names[i], params,
+                        i == 0 ? observatory.get() : nullptr);
+        const auto paper = kPaperRatio.find(r.name);
+        RunResult res;
+        res.rows.push_back({r.suite,
+                            {
+                                r.name,
+                                perEvent(r.instructions, r.l1Misses),
+                                perEvent(r.instructions,
+                                         r.l2MissesBaseline),
+                                perEvent(r.instructions, r.l2Misses4x),
+                                ratio2(r.missRatio()),
+                                perEvent(r.instructions, r.migrations),
+                                paper == kPaperRatio.end()
+                                    ? "-"
+                                    : ratio2(paper->second),
+                            }});
+        return res;
+    };
+    const std::vector<RunResult> results = runSweep(spec, opt.jobs);
+
     AsciiTable table({"benchmark", "L1miss", "L2miss", "4xL2miss",
                       "ratio", "migration", "paper-ratio"});
-    std::string suite;
-    bool first = true;
-    for (const auto &name : names) {
-        const QuadcoreRow r =
-            runQuadcore(name, params,
-                        first ? observatory.get() : nullptr);
-        first = false;
-        if (r.suite != suite) {
-            suite = r.suite;
-            table.addSection(suite);
-        }
-        const auto paper = kPaperRatio.find(r.name);
-        table.addRow({
-            r.name,
-            perEvent(r.instructions, r.l1Misses),
-            perEvent(r.instructions, r.l2MissesBaseline),
-            perEvent(r.instructions, r.l2Misses4x),
-            ratio2(r.missRatio()),
-            perEvent(r.instructions, r.migrations),
-            paper == kPaperRatio.end() ? "-" : ratio2(paper->second),
-        });
-    }
-    std::fputs(
+    collateRows(results, table);
+    std::string out =
         table.render("Table 2 reproduction: instructions per event "
                      "(higher is better); ratio < 1 means migration "
-                     "removed L2 misses").c_str(),
-        stdout);
-    std::printf("\nNotes: 16KB 4-way L1s (WT/NWA DL1), 512KB 4-way "
-                "skewed L2 per core,\n8k-entry affinity cache, 25%% "
-                "sampling, 18-bit filters, L2 filtering.\n");
+                     "removed L2 misses");
+    out += "\nNotes: 16KB 4-way L1s (WT/NWA DL1), 512KB 4-way "
+           "skewed L2 per core,\n8k-entry affinity cache, 25% "
+           "sampling, 18-bit filters, L2 filtering.\n";
+    flushAtomically(out, stdout);
     return 0;
 }

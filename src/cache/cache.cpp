@@ -35,10 +35,15 @@ Cache::Cache(const CacheConfig &config)
 AccessOutcome
 Cache::access(uint64_t line, bool is_store)
 {
+    return accessProbed(line, is_store, tags_->find(line));
+}
+
+AccessOutcome
+Cache::accessProbed(uint64_t line, bool is_store, CacheEntry *entry)
+{
     AccessOutcome out;
     ++stats_.accesses;
 
-    CacheEntry *entry = tags_->find(line);
     if (entry) {
         out.hit = true;
         ++stats_.hits;
@@ -49,6 +54,7 @@ Cache::access(uint64_t line, bool is_store)
             else
                 out.writeThrough = true;
         }
+        out.entry = entry;
         return out;
     }
 
@@ -63,6 +69,7 @@ Cache::access(uint64_t line, bool is_store)
         bool victim_valid = false;
         CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
         out.filled = true;
+        out.entry = &frame;
         if (victim_valid) {
             out.evictedValid = true;
             out.evictedLine = victim.line;
@@ -85,6 +92,7 @@ Cache::fill(uint64_t line, bool modified)
     if (entry) {
         entry->modified = entry->modified || modified;
         out.hit = true;
+        out.entry = entry;
         return out;
     }
     CacheEntry victim;
@@ -92,6 +100,7 @@ Cache::fill(uint64_t line, bool modified)
     CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
     frame.modified = modified;
     out.filled = true;
+    out.entry = &frame;
     if (victim_valid) {
         out.evictedValid = true;
         out.evictedLine = victim.line;

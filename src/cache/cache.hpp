@@ -47,6 +47,14 @@ struct AccessOutcome
     bool evictedValid = false;  ///< an existing line was displaced
     bool writeback = false;     ///< ...and it was modified (dirty)
     uint64_t evictedLine = 0;
+
+    /**
+     * Frame holding `line` after the operation: the hit entry, or the
+     * frame just filled; nullptr when the line was left non-resident
+     * (WT-no-allocate store miss). Valid only until the next mutation
+     * of the cache. Saves callers a re-probe (xmig-swift).
+     */
+    CacheEntry *entry = nullptr;
 };
 
 /** Hit/miss statistics for one cache. */
@@ -84,6 +92,15 @@ class Cache
      * Misses allocate according to the policy.
      */
     AccessOutcome access(uint64_t line, bool is_store);
+
+    /**
+     * access() with the tag probe hoisted out: `probe` MUST be the
+     * result of findEntry(line) with no intervening mutation of this
+     * cache. Lets the migration decision and the L2 access share one
+     * probe instead of three (xmig-swift hot path).
+     */
+    AccessOutcome accessProbed(uint64_t line, bool is_store,
+                               CacheEntry *probe);
 
     /**
      * Install `line` without counting an access (broadcast fills,

@@ -166,11 +166,17 @@ AffinityEngine::reference(uint64_t line)
         }
     }
 
+    int64_t arRaw = 0; // Exact only: unclamped sum(I_e) + |R| * Delta
     if (config_.ar == ArKind::Exact) {
         // A_R = sum over members of A_e = sum(I_e) + |R| * Delta.
-        const bool clamped = windowAffinity_.set(
-            sumIe_ + static_cast<int64_t>(members) * delta);
-        if (shadow_live && clamped) {
+        // The register range straddles zero, so saturating preserves
+        // the sign (affinitySign(0) = +1 on both sides); the Delta
+        // step below can therefore read sign(A_R) off the raw sum and
+        // the register is written ONCE, after the step, instead of
+        // before and after it (xmig-swift hot path).
+        arRaw = sumIe_ + static_cast<int64_t>(members) * delta;
+        if (shadow_live &&
+            saturateToBits(arRaw, windowAffinity_.bits()) != arRaw) {
             shadow_->disarm("A_R saturated");
             shadow_live = false;
         }
@@ -179,7 +185,10 @@ AffinityEngine::reference(uint64_t line)
     // Delta accumulates the sign of the (updated) window affinity;
     // conceptually every member gains sign(A_R) and every outsider
     // loses it, which the I_e / O_e invariants realize lazily.
-    if (delta_.add(affinitySign(windowAffinity_.get())) && shadow_live) {
+    const int64_t arSign = config_.ar == ArKind::Exact
+        ? affinitySign(arRaw)
+        : affinitySign(windowAffinity_.get());
+    if (delta_.add(arSign) && shadow_live) {
         shadow_->disarm("Delta saturated");
         shadow_live = false;
     }
@@ -188,9 +197,11 @@ AffinityEngine::reference(uint64_t line)
                (long long)(delta_.get() - delta));
 
     if (config_.ar == ArKind::Exact) {
-        // Delta moved, so recompute the exact A_R for observers.
+        // Delta moved by step = Delta' - Delta, so the exact A_R for
+        // observers is arRaw + step * |R| — no second full recompute.
+        const int64_t step = delta_.get() - delta;
         const bool clamped = windowAffinity_.set(
-            sumIe_ + static_cast<int64_t>(members) * delta_.get());
+            arRaw + step * static_cast<int64_t>(members));
         if (shadow_live && clamped) {
             shadow_->disarm("A_R saturated");
             shadow_live = false;

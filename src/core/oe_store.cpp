@@ -31,7 +31,6 @@ AffinityCacheStore::AffinityCacheStore(const AffinityCacheConfig &config)
     : config_(config),
       tags_(makeAffinityTags(config))
 {
-    payload_.reserve(config.entries * 2);
 }
 
 int64_t
@@ -41,31 +40,26 @@ AffinityCacheStore::lookup(uint64_t line, int64_t delta)
     auditConsistency();
     CacheEntry *entry = tags_->find(line);
     if (entry) {
-        auto it = payload_.find(line);
-        XMIG_AUDIT(it != payload_.end(),
-                   "affinity cache hit on line %llu with no payload",
-                   (unsigned long long)line);
+        // Hot path: one probe yields tag match AND O_e together.
         tags_->touch(*entry);
-        return it->second;
+        return entry->payload;
     }
     // Miss: allocate and force A_e = 0 by setting O_e = Delta.
     ++stats_.misses;
     CacheEntry victim;
     bool victim_valid = false;
-    tags_->allocate(line, &victim, &victim_valid);
+    CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
     if (victim_valid) {
         ++stats_.evictions;
         XMIG_TRACE("affinity_cache", "evict",
                    {{"victim", victim.line},
                     {"for", line},
                     {"evictions", stats_.evictions}});
-        const size_t erased = payload_.erase(victim.line);
-        XMIG_AUDIT(erased == 1,
-                   "evicted line %llu had no payload to drop",
-                   (unsigned long long)victim.line);
+    } else {
+        ++resident_;
     }
     const int64_t oe = saturateToBits(delta, config_.affinityBits);
-    payload_[line] = oe;
+    frame.payload = oe;
     return oe;
 }
 
@@ -77,87 +71,105 @@ AffinityCacheStore::store(uint64_t line, int64_t oe)
     CacheEntry *entry = tags_->find(line);
     if (entry) {
         tags_->touch(*entry);
-        payload_[line] = sat;
+        entry->payload = sat;
         return;
     }
     // The entry was displaced while the line sat in the R-window;
     // re-allocate, as a hardware write-allocate affinity cache would.
     CacheEntry victim;
     bool victim_valid = false;
-    tags_->allocate(line, &victim, &victim_valid);
+    CacheEntry &frame = tags_->allocate(line, &victim, &victim_valid);
     if (victim_valid) {
         ++stats_.evictions;
         XMIG_TRACE("affinity_cache", "evict",
                    {{"victim", victim.line},
                     {"for", line},
                     {"evictions", stats_.evictions}});
-        const size_t erased = payload_.erase(victim.line);
-        XMIG_AUDIT(erased == 1,
-                   "evicted line %llu had no payload to drop",
-                   (unsigned long long)victim.line);
+    } else {
+        ++resident_;
     }
-    payload_[line] = sat;
+    frame.payload = sat;
 }
 
 void
 AffinityCacheStore::auditConsistency()
 {
-    // Cheap bound every call: the payload map mirrors the valid tags,
-    // so it can never outgrow the configured entry count, and every
-    // miss either filled a free slot or displaced a victim.
-    XMIG_AUDIT(payload_.size() <= config_.entries &&
+    // Cheap bound every call: resident entries can never outgrow the
+    // configured entry count, and every miss either filled a free slot
+    // or displaced a victim.
+    XMIG_AUDIT(resident_ <= config_.entries &&
                    stats_.evictions <= stats_.misses + stats_.stores,
-               "affinity cache accounting desync: %zu payloads / %llu "
+               "affinity cache accounting desync: %llu resident / %llu "
                "entries, %llu evictions",
-               payload_.size(), (unsigned long long)config_.entries,
+               (unsigned long long)resident_,
+               (unsigned long long)config_.entries,
                (unsigned long long)stats_.evictions);
     if constexpr (kAuditParanoid) {
-        // Full tag/payload reconciliation is O(entries); amortize it
-        // over the lookup stream rather than paying it per call.
+        // Full reconciliation is O(entries); amortize it over the
+        // lookup stream rather than paying it per call.
         if (++auditTick_ % 4096 != 0)
             return;
-        XMIG_EXPECT(tags_->occupancy() == payload_.size(),
-                    "tag/payload desync: %llu valid tags, %zu payloads",
+        XMIG_EXPECT(tags_->occupancy() == resident_,
+                    "occupancy desync: %llu valid tags, %llu resident",
                     (unsigned long long)tags_->occupancy(),
-                    payload_.size());
+                    (unsigned long long)resident_);
+        const int64_t lo = SatInt::minForBits(config_.affinityBits);
+        const int64_t hi = SatInt::maxForBits(config_.affinityBits);
         tags_->forEachValid([&](const CacheEntry &e) {
-            XMIG_EXPECT(payload_.count(e.line) == 1,
-                        "valid tag for line %llu has no payload",
-                        (unsigned long long)e.line);
+            XMIG_EXPECT(e.payload >= lo && e.payload <= hi,
+                        "O_e for line %llu escaped the %u-bit range: "
+                        "%lld",
+                        (unsigned long long)e.line, config_.affinityBits,
+                        (long long)e.payload);
         });
     }
+}
+
+uint64_t
+AffinityCacheStore::nthValidLine(uint64_t target) const
+{
+    uint64_t line = 0;
+    uint64_t i = 0;
+    bool found = false;
+    tags_->forEachValid([&](const CacheEntry &e) {
+        if (i++ == target) {
+            line = e.line;
+            found = true;
+        }
+    });
+    XMIG_ASSERT(found, "nthValidLine(%llu) out of %llu resident",
+                (unsigned long long)target, (unsigned long long)resident_);
+    return line;
 }
 
 bool
 AffinityCacheStore::corruptRandomEntry(Rng &rng)
 {
-    if (payload_.empty())
+    if (resident_ == 0)
         return false;
-    auto it = payload_.begin();
-    std::advance(it, static_cast<long>(rng.below(payload_.size())));
+    const uint64_t line = nthValidLine(rng.below(resident_));
+    CacheEntry *entry = tags_->find(line);
+    XMIG_ASSERT(entry, "valid frame vanished under fault injection");
     const uint64_t flipped =
-        static_cast<uint64_t>(it->second) ^
+        static_cast<uint64_t>(entry->payload) ^
         (uint64_t{1} << rng.below(config_.affinityBits));
-    it->second = saturateToBits(static_cast<int64_t>(flipped),
-                                config_.affinityBits);
+    entry->payload = saturateToBits(static_cast<int64_t>(flipped),
+                                    config_.affinityBits);
     return true;
 }
 
 bool
 AffinityCacheStore::dropRandomEntry(Rng &rng)
 {
-    if (payload_.empty())
+    if (resident_ == 0)
         return false;
-    auto it = payload_.begin();
-    std::advance(it, static_cast<long>(rng.below(payload_.size())));
-    const uint64_t line = it->first;
-    // A corrupted tag loses the entry as a whole: the payload and the
-    // tag must go together or the tag/payload reconciliation audit
-    // would (rightly) flag a dangling half.
-    payload_.erase(it);
+    const uint64_t line = nthValidLine(rng.below(resident_));
+    // A corrupted tag loses the entry as a whole: the O_e word rides
+    // in the frame, so tag and value go together by construction.
     const bool had_tag = tags_->invalidate(line);
-    XMIG_AUDIT(had_tag, "payload for line %llu had no tag to drop",
+    XMIG_AUDIT(had_tag, "line %llu had no tag to drop",
                (unsigned long long)line);
+    --resident_;
     return true;
 }
 
@@ -165,9 +177,10 @@ void
 AffinityCacheStore::snapshotEntries(std::vector<OeEntrySnapshot> &out)
     const
 {
-    out.reserve(out.size() + payload_.size());
-    for (const auto &[line, oe] : payload_)
-        out.push_back({line, oe});
+    out.reserve(out.size() + resident_);
+    tags_->forEachValid([&](const CacheEntry &e) {
+        out.push_back({e.line, e.payload});
+    });
     std::sort(out.begin(), out.end(),
               [](const OeEntrySnapshot &a, const OeEntrySnapshot &b) {
                   return a.line < b.line;
@@ -183,26 +196,26 @@ AffinityCacheStore::restoreEntries(
     // choices after a restore may differ from the original run; the
     // *contents* are exact.
     std::vector<uint64_t> lines;
-    lines.reserve(payload_.size());
-    for (const auto &[line, oe] : payload_)
-        lines.push_back(line);
+    lines.reserve(resident_);
+    tags_->forEachValid(
+        [&](const CacheEntry &e) { lines.push_back(e.line); });
     for (uint64_t line : lines)
         tags_->invalidate(line);
-    payload_.clear();
+    resident_ = 0;
 
     CacheEntry victim;
     bool victim_valid = false;
     for (const OeEntrySnapshot &e : entries) {
-        tags_->allocate(e.line, &victim, &victim_valid);
-        if (victim_valid) {
-            // Greedy re-insertion is not a perfect matching over the
-            // skewed candidate frames, so a full snapshot can displace
-            // an already-restored line. The shed entry merely
-            // re-initializes to A_e = 0 on its next touch — the same
-            // thing an ordinary capacity eviction would have done.
-            payload_.erase(victim.line);
-        }
-        payload_[e.line] = saturateToBits(e.oe, config_.affinityBits);
+        // Greedy re-insertion is not a perfect matching over the
+        // skewed candidate frames, so a full snapshot can displace an
+        // already-restored line. The shed entry merely re-initializes
+        // to A_e = 0 on its next touch — the same thing an ordinary
+        // capacity eviction would have done.
+        CacheEntry &frame = tags_->allocate(e.line, &victim,
+                                            &victim_valid);
+        if (!victim_valid)
+            ++resident_;
+        frame.payload = saturateToBits(e.oe, config_.affinityBits);
     }
     stats_ = stats;
 }
@@ -213,9 +226,7 @@ AffinityCacheStore::peek(uint64_t line) const
     const CacheEntry *entry = tags_->find(line);
     if (!entry)
         return std::nullopt;
-    auto it = payload_.find(line);
-    XMIG_ASSERT(it != payload_.end(), "tag/payload desync");
-    return it->second;
+    return entry->payload;
 }
 
 uint64_t

@@ -266,10 +266,14 @@ struct AffinityCacheConfig
 /**
  * Finite, tagged affinity cache.
  *
- * Entry payload is a saturated O_e value; misses install O_e = Delta
- * so the transition filter is not perturbed by untracked lines
- * (section 4.2 relies on this to suppress migrations for working-sets
- * far larger than the total L2 capacity).
+ * The O_e value rides in the tag frame itself (CacheEntry::payload),
+ * exactly as section 3.5's hardware array stores tag + affinity side
+ * by side: a hit is ONE probe — tag match and value together — with
+ * no separate line-to-O_e map to hash (xmig-swift hot-path layout).
+ * Misses install O_e = Delta so the transition filter is not
+ * perturbed by untracked lines (section 4.2 relies on this to
+ * suppress migrations for working-sets far larger than the total L2
+ * capacity).
  */
 class AffinityCacheStore : public OeStore
 {
@@ -283,14 +287,15 @@ class AffinityCacheStore : public OeStore
 
     bool corruptRandomEntry(Rng &rng) override;
 
-    /** Tag corruption drops the tag *and* its payload together. */
+    /** Tag corruption drops the tag *and* its O_e word together. */
     bool dropRandomEntry(Rng &rng) override;
 
     void snapshotEntries(std::vector<OeEntrySnapshot> &out) const override;
     void restoreEntries(const std::vector<OeEntrySnapshot> &entries,
                         const OeStoreStats &stats) override;
 
-    uint64_t occupancy() const { return tags_->occupancy(); }
+    /** Valid entries; maintained incrementally, O(1). */
+    uint64_t occupancy() const { return resident_; }
     const AffinityCacheConfig &config() const { return config_; }
 
     /**
@@ -303,9 +308,12 @@ class AffinityCacheStore : public OeStore
     /** Cheap per-call accounting audit + periodic paranoid sweep. */
     void auditConsistency();
 
+    /** The `target`-th valid frame's line, for uniform fault picks. */
+    uint64_t nthValidLine(uint64_t target) const;
+
     AffinityCacheConfig config_;
     std::unique_ptr<TagStore> tags_;
-    std::unordered_map<uint64_t, int64_t> payload_; // line -> O_e
+    uint64_t resident_ = 0; ///< valid entries (mirrors tag occupancy)
     OeStoreStats stats_;
     uint64_t auditTick_ = 0; ///< paranoid reconciliation cadence
 };

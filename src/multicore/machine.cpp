@@ -147,18 +147,24 @@ MigrationMachine::onLine(const LineEvent &event)
     // recorded below lands at this logical instant.
     XMIG_TRACE_CLOCK(stats_.refs);
 
+    CacheEntry *probe = nullptr;
+    bool probed = false;
     if (controller_ && event.l1Miss) {
         // The controller monitors L1-miss requests. With L2 filtering
         // its transition filters move only when the request would
         // miss the *current* active core's L2, so probe before
-        // deciding.
-        const bool l2_miss = !l2s_[activeCore_]->contains(event.line);
-        const unsigned target =
-            controller_->onRequest(event.line, l2_miss, event.pointer);
+        // deciding. The probe stays valid for the access below when
+        // execution does not migrate (onRequest never touches L2s).
+        probe = l2s_[activeCore_]->findEntry(event.line);
+        probed = true;
+        const unsigned target = controller_->onRequest(
+            event.line, /*l2_miss=*/probe == nullptr, event.pointer);
         if (target != activeCore_) {
             ++stats_.migrations;
             XMIG_TRACE_COUNTER("machine", "active_core", target);
             activeCore_ = target;
+            probe = nullptr; // probe was on the previous active core
+            probed = false;
         }
     }
 
@@ -168,7 +174,7 @@ MigrationMachine::onLine(const LineEvent &event)
     // The request is serviced by the L2 of the core that is active
     // after any migration: that is the point of distributing the
     // working-set.
-    accessL2(event.line, is_store);
+    accessL2(event.line, is_store, probe, probed);
 
     if (is_store)
         broadcastStore(event.line);
@@ -234,17 +240,19 @@ MigrationMachine::scrubCoherence()
 }
 
 void
-MigrationMachine::accessL2(uint64_t line, bool is_store)
+MigrationMachine::accessL2(uint64_t line, bool is_store,
+                           CacheEntry *probe, bool probed)
 {
     ++stats_.l2Accesses;
     Cache &l2 = *l2s_[activeCore_];
-    AccessOutcome out = l2.access(line, is_store);
+    AccessOutcome out = probed ? l2.accessProbed(line, is_store, probe)
+                               : l2.access(line, is_store);
     if (out.writeback) {
         ++stats_.l3Writebacks;
         writebackToL3(out.evictedLine);
     }
     if (out.hit) {
-        CacheEntry *entry = l2.findEntry(line);
+        CacheEntry *entry = out.entry;
         if (entry && entry->prefetched) {
             entry->prefetched = false;
             ++stats_.prefetchUseful;
@@ -296,8 +304,8 @@ MigrationMachine::issuePrefetches(uint64_t line, bool miss)
             writebackToL3(out.evictedLine);
         }
         fetchFromL3(candidate);
-        if (CacheEntry *entry = l2.findEntry(candidate)) {
-            entry->prefetched = true;
+        if (out.entry) {
+            out.entry->prefetched = true;
             ++stats_.prefetchFills;
         }
     }

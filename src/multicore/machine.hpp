@@ -238,8 +238,14 @@ class MigrationMachine : public RefSink, private LineSink
      */
     void scrubCoherence();
 
-    /** Handle the L2-level request on the (post-decision) active core. */
-    void accessL2(uint64_t line, bool is_store);
+    /**
+     * Handle the L2-level request on the (post-decision) active core.
+     * `probe`/`probed` carry a findEntry(line) result taken on that
+     * same core before the migration decision, so the decision and the
+     * access share one tag probe (xmig-swift).
+     */
+    void accessL2(uint64_t line, bool is_store, CacheEntry *probe,
+                  bool probed);
 
     /** Store visibility on inactive copies (update bus, section 2.1). */
     void broadcastStore(uint64_t line);

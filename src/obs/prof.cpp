@@ -42,6 +42,7 @@ void
 ProfileRegistry::record(const char *name, uint64_t elapsed_ns,
                         uint64_t child_ns)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto &e : entries_) {
         if (e.name == name) {
             ++e.calls;
@@ -61,6 +62,7 @@ ProfileRegistry::record(const char *name, uint64_t elapsed_ns,
 const ProfEntry *
 ProfileRegistry::find(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &e : entries_) {
         if (e.name == name)
             return &e;
@@ -71,6 +73,7 @@ ProfileRegistry::find(const std::string &name) const
 std::string
 ProfileRegistry::report(const std::string &title) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     AsciiTable table({"phase", "calls", "total_ms", "self_ms"});
     for (const auto &e : entries_) {
         char calls[32];
@@ -85,6 +88,7 @@ ProfileRegistry::report(const std::string &title) const
 void
 ProfileRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
 }
 

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,12 @@ class ProfileRegistry
     void record(const char *name, uint64_t elapsed_ns,
                 uint64_t child_ns);
 
-    /** All entries, in first-seen order. */
+    /**
+     * All entries, in first-seen order. NOT synchronized: call only
+     * when no scopes are live on other threads (i.e. after a sweep's
+     * join) — the registry cannot hand out a stable reference under
+     * concurrent record() calls.
+     */
     const std::vector<ProfEntry> &entries() const { return entries_; }
 
     const ProfEntry *find(const std::string &name) const;
@@ -60,6 +66,13 @@ class ProfileRegistry
     void reset();
 
   private:
+    /**
+     * Scopes close on every sweep worker (xmig-swift), so the
+     * accumulator is mutex-guarded; two steady_clock reads dominate a
+     * scope's cost anyway, and scopes are phase-, not per-reference-,
+     * granular.
+     */
+    mutable std::mutex mutex_;
     std::vector<ProfEntry> entries_; ///< small; linear lookup is fine
 };
 

@@ -11,6 +11,13 @@
  *   --fault-plan P xmig-iron fault plan (fault_plan.hpp grammar),
  *                  forwarded to MachineConfig::faultPlan by harnesses
  *                  that run a MigrationMachine
+ *   --jobs N       xmig-swift sweep workers (default: the XMIG_JOBS
+ *                  environment variable, else one per host core).
+ *                  Output is bit-identical at any value
+ *                  (docs/parallelism.md); N must be positive
+ *   --smoke        CI-sized run: harnesses shrink budgets and sweep
+ *                  ranges to finish in seconds
+ *
  *
  * xmig-scope outputs (harnesses that run a machine; applied to the
  * first selected benchmark — see sim/observe.hpp):
@@ -53,6 +60,18 @@ struct BenchOptions
 
     std::string faultPlan;     ///< "" = no fault injection
 
+    /**
+     * Sweep workers (xmig-swift). 0 = auto: one per host core
+     * (JobPool::defaultJobs()), forced to 1 when --trace-out is set
+     * because the Tracer session is per-process. An *explicit*
+     * --jobs > 1 combined with --trace-out is a fatal error rather
+     * than a silent serialization.
+     */
+    unsigned jobs = 0;
+
+    /** CI-sized run: harnesses shrink budgets and sweep ranges. */
+    bool smoke = false;
+
     /** True if any xmig-scope output was requested. */
     bool
     observing() const
@@ -84,11 +103,31 @@ struct BenchOptions
         return static_cast<uint64_t>(v);
     }
 
+    /**
+     * Strict worker count for --jobs / XMIG_JOBS: a *positive*
+     * integer (0 workers is meaningless; "auto" is expressed by
+     * omitting the flag entirely).
+     */
+    static unsigned
+    parseJobs(const char *flag, const char *text)
+    {
+        const uint64_t v = parseCount(flag, text);
+        if (v == 0 || v > 4096)
+            XMIG_FATAL("%s: '%s' is not a positive worker count "
+                       "(1..4096)", flag, text);
+        return static_cast<unsigned>(v);
+    }
+
     static BenchOptions
     parse(int argc, char **argv)
     {
         BenchOptions opt;
         double scale = 1.0;
+        bool jobs_explicit = false;
+        if (const char *env = std::getenv("XMIG_JOBS")) {
+            opt.jobs = parseJobs("XMIG_JOBS", env);
+            jobs_explicit = true;
+        }
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             auto next = [&]() -> const char * {
@@ -126,10 +165,24 @@ struct BenchOptions
                 // Validate eagerly so a typo dies at the command
                 // line, not after minutes of warm-up.
                 FaultPlan::parseOrFatal(opt.faultPlan);
-            }
+            } else if (arg == "--jobs") {
+                opt.jobs = parseJobs("--jobs", next());
+                jobs_explicit = true;
+            } else if (arg == "--smoke")
+                opt.smoke = true;
         }
         opt.instructions = static_cast<uint64_t>(
             static_cast<double>(opt.instructions) * scale);
+        if (!opt.traceOut.empty() && opt.jobs != 1) {
+            // The Tracer is a per-process singleton: two concurrent
+            // cells would interleave one trace session. An explicit
+            // request for both is a contradiction; the auto default
+            // just degrades to the serial path.
+            if (jobs_explicit)
+                XMIG_FATAL("--trace-out requires --jobs 1 (the trace "
+                           "session is per-process)");
+            opt.jobs = 1;
+        }
         return opt;
     }
 };

@@ -1,0 +1,119 @@
+#include "sim/runner/job_pool.hpp"
+
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/contracts.hpp"
+
+namespace xmig {
+
+namespace {
+
+/** One worker's job queue; mutex-guarded (jobs are coarse). */
+struct WorkerQueue
+{
+    std::mutex mutex;
+    std::deque<size_t> jobs;
+
+    bool
+    popFront(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        *out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(size_t *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        *out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // namespace
+
+unsigned
+JobPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+JobPool::JobPool(unsigned jobs)
+    : jobs_(jobs == 0 ? defaultJobs() : jobs)
+{
+}
+
+void
+JobPool::run(size_t n, const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    // Serial fast path: with one worker (or one job) nothing is
+    // gained by spawning a thread, and running inline makes the
+    // jobs==1 execution *the* serial path rather than a simulation
+    // of it. Exceptions propagate naturally.
+    if (jobs_ == 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    const size_t workers = std::min<size_t>(jobs_, n);
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    queues.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    // Round-robin seeding: worker w starts with jobs w, w+workers, ...
+    // Deterministic, and spreads the (often monotone-cost) cell list
+    // so no worker begins with all the expensive ones.
+    for (size_t i = 0; i < n; ++i)
+        queues[i % workers]->jobs.push_back(i);
+
+    // One slot per *job*: failures are reported by job index, so the
+    // rethrown exception is schedule-independent.
+    std::vector<std::exception_ptr> errors(n);
+
+    auto worker_body = [&](size_t self) {
+        size_t job;
+        for (;;) {
+            bool have = queues[self]->popFront(&job);
+            for (size_t v = 1; !have && v < workers; ++v)
+                have = queues[(self + v) % workers]->stealBack(&job);
+            if (!have)
+                return; // every queue drained
+            try {
+                fn(job);
+            } catch (...) {
+                errors[job] = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        threads.emplace_back(worker_body, w);
+    worker_body(0); // the caller is worker 0
+    for (std::thread &t : threads)
+        t.join();
+
+    for (size_t i = 0; i < n; ++i) {
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    }
+}
+
+} // namespace xmig

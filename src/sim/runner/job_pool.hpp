@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Work-stealing job pool for sweep parallelism (xmig-swift).
+ *
+ * Every experiment in the paper is a sweep of *independent*
+ * single-program simulations: each (benchmark x config) cell builds
+ * its own Machine, workload generator, RNG and metrics, runs to
+ * completion, and reports a result. The pool executes those cells
+ * across host threads while keeping the results in deterministic
+ * job-index order, so a parallel sweep renders byte-identical output
+ * to the serial one (docs/parallelism.md states the full contract).
+ *
+ * Scheduling: each worker owns a deque of job indices, seeded
+ * round-robin at submit time. A worker pops from the *front* of its
+ * own deque and, when empty, steals from the *back* of a victim's —
+ * the classic Chase-Lev shape, here with a per-deque mutex because
+ * jobs are whole simulations (milliseconds to minutes), not
+ * microtasks; queue operations are measurement noise.
+ *
+ * With jobs() == 1 or a single submitted job, run() executes inline
+ * on the calling thread: no threads are spawned, and the execution is
+ * *exactly* the serial path, not merely equivalent to it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xmig {
+
+/**
+ * Fixed-width pool executing indexed jobs with work stealing.
+ */
+class JobPool
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobs(). */
+    explicit JobPool(unsigned jobs);
+
+    /** Resolved worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute fn(0) .. fn(n-1) across the workers and return when all
+     * are done. Exceptions thrown by jobs are captured per job; after
+     * the join, the exception of the *lowest-indexed* failing job is
+     * rethrown — the same one a serial loop would have surfaced first.
+     * Jobs after a failing one still run (they are independent), which
+     * keeps the executed-work set deterministic under any schedule.
+     */
+    void run(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Host-parallelism default for --jobs: hardware_concurrency, or 1
+     * when the runtime cannot tell.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Typed fan-out: results land in a vector indexed by job number, so
+ * collection order never depends on completion order.
+ */
+template <typename R, typename Fn>
+std::vector<R>
+runIndexed(const JobPool &pool, size_t n, Fn &&fn)
+{
+    std::vector<R> out(n);
+    pool.run(n, [&](size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace xmig

@@ -1,0 +1,55 @@
+#include "sim/runner/sweep.hpp"
+
+#include "util/contracts.hpp"
+
+namespace xmig {
+
+std::vector<RunResult>
+runSweep(const SweepSpec &spec, unsigned jobs)
+{
+    XMIG_ASSERT(static_cast<bool>(spec.run) || spec.cells == 0,
+                "sweep of %zu cells has no run function", spec.cells);
+    const JobPool pool(jobs);
+    return runIndexed<RunResult>(pool, spec.cells,
+                                 [&](size_t i) { return spec.run(i); });
+}
+
+std::string
+collateText(const std::vector<RunResult> &results)
+{
+    std::string out;
+    for (const RunResult &r : results)
+        out += r.text;
+    return out;
+}
+
+void
+collateRows(const std::vector<RunResult> &results, AsciiTable &table)
+{
+    std::string section;
+    for (const RunResult &r : results) {
+        for (const SweepRow &row : r.rows) {
+            if (!row.section.empty() && row.section != section) {
+                section = row.section;
+                table.addSection(section);
+            }
+            table.addRow(row.cells);
+        }
+    }
+}
+
+void
+flushAtomically(const std::string &out, std::FILE *stream)
+{
+    // One write, then flush: interleaved worker stdout (or a parent
+    // process capturing several harnesses) sees whole tables, never
+    // torn rows. POSIX guarantees atomicity for a single write on a
+    // pipe only up to PIPE_BUF, but a single buffered-then-flushed
+    // unit is as close as stdio gets, and the harnesses only print
+    // from the collation thread anyway.
+    if (!out.empty())
+        std::fwrite(out.data(), 1, out.size(), stream);
+    std::fflush(stream);
+}
+
+} // namespace xmig

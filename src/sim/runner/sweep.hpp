@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared sweep harness API (xmig-swift).
+ *
+ * The bench binaries all have the same shape: a list of
+ * (benchmark x config) cells, a per-cell simulation producing a text
+ * block and/or table rows, and a final render. SweepSpec captures
+ * that shape once so every harness parallelizes the same way instead
+ * of growing its own copy-pasted loop.
+ *
+ * Determinism contract (docs/parallelism.md): the cell function must
+ * build ALL of its mutable state — Machine, workload generator, RNG,
+ * MetricsRegistry — inside the call, and results are collated
+ * strictly in cell-index order after the join. Output is therefore
+ * bit-identical at any --jobs value.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner/job_pool.hpp"
+#include "util/stats.hpp"
+
+namespace xmig {
+
+/** One table row produced by a sweep cell. */
+struct SweepRow
+{
+    /**
+     * Section this row belongs to ("" = none). Collation emits an
+     * AsciiTable section header whenever the label changes between
+     * consecutive rows, so per-suite grouping survives the fan-out.
+     */
+    std::string section;
+    std::vector<std::string> cells;
+};
+
+/** Everything one sweep cell contributes to the harness output. */
+struct RunResult
+{
+    std::string text;           ///< free-form block (figures, series)
+    std::vector<SweepRow> rows; ///< rows for the shared summary table
+};
+
+/** A parallelizable sweep: cell count plus the per-cell body. */
+struct SweepSpec
+{
+    size_t cells = 0;
+    std::function<RunResult(size_t)> run;
+};
+
+/**
+ * Execute the sweep on `jobs` workers (0 = host default) and return
+ * the results in cell-index order regardless of completion order.
+ */
+std::vector<RunResult> runSweep(const SweepSpec &spec, unsigned jobs);
+
+/** Concatenate the per-cell text blocks in cell-index order. */
+std::string collateText(const std::vector<RunResult> &results);
+
+/**
+ * Append every result row to `table` in cell-index order, emitting a
+ * section header at each section-label change.
+ */
+void collateRows(const std::vector<RunResult> &results, AsciiTable &table);
+
+/**
+ * Write `out` to `stream` as one uninterruptible unit (single
+ * unbuffered fwrite + flush): worker threads or a surrounding process
+ * multiplexer can never tear a table row in half.
+ */
+void flushAtomically(const std::string &out, std::FILE *stream);
+
+} // namespace xmig

@@ -5,19 +5,12 @@ namespace xmig {
 uint32_t
 hashMod31(uint64_t e)
 {
-    // Sum the 5-bit blocks; repeat until the sum itself fits 5 bits.
-    // This mirrors the carry-save-adder + ROM structure of section 3.5.
-    uint64_t sum = e;
-    while (sum >= 32) {
-        uint64_t next = 0;
-        while (sum != 0) {
-            next += sum & 0x1f;
-            sum >>= 5;
-        }
-        sum = next;
-    }
-    // 31 = 0 (mod 31); every other residue is already reduced.
-    return sum == 31 ? 0 : static_cast<uint32_t>(sum);
+    // Section 3.5's hardware sums the 5-bit blocks of the address with
+    // a carry-save-adder tree + ROM; because 2^5 = 1 (mod 31), that
+    // digit-sum equals e mod 31 exactly (same theorem as casting out
+    // nines), so in software a single modulo computes the identical
+    // value without the iterative fold.
+    return static_cast<uint32_t>(e % 31);
 }
 
 uint64_t

@@ -103,18 +103,35 @@ class AsciiTable
     /** Append a full-width section label row (e.g. "SPEC2000"). */
     void addSection(std::string label);
 
+    /**
+     * Pre-size the table with `n` addressable slots (xmig-swift):
+     * parallel sweep cells fill their own slot via setRow /
+     * setSection in *completion* order, yet render() always emits in
+     * *slot* order. Slots left unfilled are skipped. Mixed use with
+     * addRow() appends after the reserved block.
+     */
+    void reserveRows(size_t n);
+
+    /** Fill reserved slot `i` with a data row (header-width cells). */
+    void setRow(size_t i, std::vector<std::string> row);
+
+    /** Fill reserved slot `i` with a section label row. */
+    void setSection(size_t i, std::string label);
+
     /** Render the table to a string. */
     std::string render(const std::string &title = "") const;
 
   private:
     struct Row
     {
-        bool section;
+        bool section = false;
+        bool filled = true; ///< reserved-but-unset slots render as nothing
         std::vector<std::string> cells;
     };
 
     std::vector<std::string> header_;
     std::vector<Row> rows_;
+    size_t reserved_ = 0;
 };
 
 /**
@@ -130,6 +147,17 @@ class SeriesWriter
 
     void addPoint(const std::string &x, const std::vector<double> &ys);
 
+    /**
+     * Pre-size with `n` addressable point slots; parallel sweep cells
+     * fill theirs with setPoint in any order, render emits slot order
+     * and skips unfilled slots (same contract as AsciiTable slots).
+     */
+    void reservePoints(size_t n);
+
+    /** Fill reserved slot `i`. */
+    void setPoint(size_t i, const std::string &x,
+                  const std::vector<double> &ys);
+
     /** Render with an optional leading `# title` comment line. */
     std::string render(const std::string &title = "") const;
 
@@ -140,9 +168,17 @@ class SeriesWriter
     std::string renderCsv() const;
 
   private:
+    struct Point
+    {
+        bool filled = true;
+        std::string x;
+        std::vector<double> ys;
+    };
+
     std::string xName_;
     std::vector<std::string> seriesNames_;
-    std::vector<std::pair<std::string, std::vector<double>>> points_;
+    std::vector<Point> points_;
+    size_t reserved_ = 0;
 };
 
 } // namespace xmig

@@ -55,6 +55,39 @@ TEST(BenchOptions, ParsesFaultPlan)
     EXPECT_EQ(opt.faultPlan, "seed=7;at=1000:core_off=2");
 }
 
+TEST(BenchOptions, ParsesJobsAndSmoke)
+{
+    unsetenv("XMIG_JOBS");
+    EXPECT_EQ(parse({}).jobs, 0u); // 0 = auto (one per host core)
+    EXPECT_FALSE(parse({}).smoke);
+    EXPECT_EQ(parse({"--jobs", "8"}).jobs, 8u);
+    EXPECT_EQ(parse({"--jobs", "1"}).jobs, 1u);
+    EXPECT_EQ(parse({"--jobs", "4096"}).jobs, 4096u);
+    EXPECT_TRUE(parse({"--smoke"}).smoke);
+}
+
+TEST(BenchOptions, JobsFromEnvironment)
+{
+    setenv("XMIG_JOBS", "3", 1);
+    EXPECT_EQ(parse({}).jobs, 3u);
+    // The command line wins over the environment.
+    EXPECT_EQ(parse({"--jobs", "5"}).jobs, 5u);
+    unsetenv("XMIG_JOBS");
+}
+
+TEST(BenchOptions, TraceOutDegradesAutoJobsToSerial)
+{
+    unsetenv("XMIG_JOBS");
+    // No explicit --jobs: the auto default quietly serializes, since
+    // the Tracer session is per-process.
+    const BenchOptions opt = parse({"--trace-out", "/tmp/t.json"});
+    EXPECT_EQ(opt.jobs, 1u);
+    // An explicit --jobs 1 is compatible, not a contradiction.
+    const BenchOptions serial =
+        parse({"--trace-out", "/tmp/t.json", "--jobs", "1"});
+    EXPECT_EQ(serial.jobs, 1u);
+}
+
 // XMIG_FATAL exits with status 1; each bad value must die with a
 // message naming the flag instead of silently parsing as 0.
 TEST(BenchOptionsDeathTest, RejectsNegativeCount)
@@ -100,6 +133,38 @@ TEST(BenchOptionsDeathTest, RejectsMalformedFaultPlan)
 {
     EXPECT_EXIT(parse({"--fault-plan", "at=5:flip=bogus"}),
                 ::testing::ExitedWithCode(1), "fault-plan");
+}
+
+// --jobs 0 is meaningless ("auto" is spelled by omitting the flag),
+// and garbage or absurd counts must die loudly (xmig-iron strictness).
+TEST(BenchOptionsDeathTest, RejectsBadJobs)
+{
+    unsetenv("XMIG_JOBS");
+    EXPECT_EXIT(parse({"--jobs", "0"}),
+                ::testing::ExitedWithCode(1), "--jobs");
+    EXPECT_EXIT(parse({"--jobs", "many"}),
+                ::testing::ExitedWithCode(1), "--jobs");
+    EXPECT_EXIT(parse({"--jobs", "-2"}),
+                ::testing::ExitedWithCode(1), "--jobs");
+    EXPECT_EXIT(parse({"--jobs", "4097"}),
+                ::testing::ExitedWithCode(1), "--jobs");
+}
+
+TEST(BenchOptionsDeathTest, RejectsBadJobsEnvironment)
+{
+    setenv("XMIG_JOBS", "zero", 1);
+    EXPECT_EXIT(parse({}), ::testing::ExitedWithCode(1), "XMIG_JOBS");
+    unsetenv("XMIG_JOBS");
+}
+
+// Explicitly asking for a parallel sweep *and* a per-process trace
+// session is a contradiction, not something to silently serialize.
+TEST(BenchOptionsDeathTest, RejectsExplicitJobsWithTraceOut)
+{
+    unsetenv("XMIG_JOBS");
+    EXPECT_EXIT(
+        parse({"--trace-out", "/tmp/t.json", "--jobs", "4"}),
+        ::testing::ExitedWithCode(1), "--trace-out requires --jobs 1");
 }
 
 TEST(QuadcoreWarmup, ExcludesWarmupEvents)

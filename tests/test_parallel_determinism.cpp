@@ -1,0 +1,88 @@
+/**
+ * @file
+ * End-to-end xmig-swift determinism: the flagship Table 2 harness
+ * must emit *byte-identical* stdout whatever --jobs is set to, with
+ * and without an armed fault plan. This is the acceptance property
+ * the sweep runner promises (docs/parallelism.md) — everything the
+ * serial run prints, the parallel run prints, in the same order.
+ */
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+
+namespace xmig {
+namespace {
+
+#ifndef XMIG_BENCH_DIR
+#define XMIG_BENCH_DIR "bench"
+#endif
+
+/** Run a shell command, capture stdout; abort the test on failure. */
+std::string
+capture(const std::string &cmd)
+{
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+        ADD_FAILURE() << "popen failed: " << cmd;
+        return "";
+    }
+    std::string out;
+    std::array<char, 4096> buf;
+    size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        out.append(buf.data(), n);
+    const int rc = pclose(pipe);
+    EXPECT_EQ(rc, 0) << "non-zero exit from: " << cmd;
+    return out;
+}
+
+std::string
+table2(const std::string &extra)
+{
+    // Clear XMIG_JOBS so the environment of the ctest runner cannot
+    // leak into the comparison.
+    return capture("env -u XMIG_JOBS " XMIG_BENCH_DIR
+                   "/bench_table2_quadcore --smoke " +
+                   extra + " 2>/dev/null");
+}
+
+TEST(ParallelDeterminism, Table2SmokeIsByteIdenticalAcrossJobs)
+{
+    const std::string serial = table2("--jobs 1");
+    ASSERT_FALSE(serial.empty());
+    // The smoke sweep has 6 cells; 8 workers also covers the
+    // workers > cells corner.
+    EXPECT_EQ(serial, table2("--jobs 8"));
+    EXPECT_EQ(serial, table2("--jobs 3"));
+}
+
+TEST(ParallelDeterminism, Table2SmokeWithFaultPlanIsByteIdentical)
+{
+    if (!kFaultEnabled)
+        GTEST_SKIP() << "fault hooks compiled out";
+    // Per-cell machines own their fault RNGs, so an armed plan must
+    // not break the byte-identity contract either.
+    const std::string plan =
+        "--fault-plan \"seed=5;rate=2e-5:flip=oe;rate=2e-5:flip=tag;"
+        "rate=1e-3:mig_drop\"";
+    const std::string serial = table2("--jobs 1 " + plan);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, table2("--jobs 8 " + plan));
+}
+
+TEST(ParallelDeterminism, JobsEnvironmentVariableIsHonored)
+{
+    const std::string serial = table2("--jobs 1");
+    const std::string env =
+        capture("env XMIG_JOBS=8 " XMIG_BENCH_DIR
+                "/bench_table2_quadcore --smoke 2>/dev/null");
+    EXPECT_EQ(serial, env);
+}
+
+} // namespace
+} // namespace xmig
