@@ -400,9 +400,13 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
     }
 
     // A migration is (at most) a subset change relative to the
-    // current placement; recovery actions (forced migrations, filter
-    // re-inits, resplits) may each move the core once without a
-    // recorded splitter transition.
+    // current placement; recovery actions may each move the core once
+    // without a recorded splitter transition: forced migrations,
+    // filter re-inits, and every *accepted* topology event — not just
+    // arity-changing resplits, because applyTopology() recomputes the
+    // subset-to-core mapping on every churn event (e.g. a rejoin that
+    // keeps a 2-way split remaps [1,2] to [0,1], moving the desired
+    // core under an unchanged subset; found by xmig-forge fuzzing).
     XMIG_AUDIT(stats_.transitions ==
                    transitionsBase_ + splitterTransitions(),
                "controller/splitter transition desync: %llu vs "
@@ -412,15 +416,17 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
                (unsigned long long)splitterTransitions());
     XMIG_AUDIT(stats_.migrations <=
                    stats_.transitions + recovery_.forcedMigrations +
-                       recovery_.filterReinits + recovery_.resplits,
+                       recovery_.filterReinits + recovery_.coresLost +
+                       recovery_.coresJoined,
                "controller statistics desync: %llu migrations, %llu "
-               "transitions (+%llu forced, %llu reinits, %llu "
-               "resplits)",
+               "transitions (+%llu forced, %llu reinits, %llu lost, "
+               "%llu joined)",
                (unsigned long long)stats_.migrations,
                (unsigned long long)stats_.transitions,
                (unsigned long long)recovery_.forcedMigrations,
                (unsigned long long)recovery_.filterReinits,
-               (unsigned long long)recovery_.resplits);
+               (unsigned long long)recovery_.coresLost,
+               (unsigned long long)recovery_.coresJoined);
     return activeCore_;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/contracts.hpp"
@@ -27,7 +28,9 @@ constexpr SiteSpec kFlipSites[] = {
 bool
 parseUint(const std::string &text, uint64_t *out)
 {
-    if (text.empty() || text[0] == '-' || text[0] == '+')
+    // strtoull skips leading whitespace and accepts a sign; the
+    // grammar is whitespace-free, so insist on a leading digit.
+    if (text.empty() || text[0] < '0' || text[0] > '9')
         return false;
     errno = 0;
     char *end = nullptr;
@@ -41,7 +44,11 @@ parseUint(const std::string &text, uint64_t *out)
 bool
 parseRate(const std::string &text, double *out)
 {
-    if (text.empty())
+    // As with parseUint: no leading whitespace, and no sign — a
+    // probability is written bare ("-0" in particular would sneak a
+    // negative zero past the v < 0 check below).
+    if (text.empty() || text[0] == '-' || text[0] == '+' ||
+        (text[0] != '.' && (text[0] < '0' || text[0] > '9')))
         return false;
     errno = 0;
     char *end = nullptr;
@@ -112,6 +119,23 @@ parseEvent(const std::string &text, FaultRule *rule, std::string *error)
     return fail("unknown fault event '" + head + "'");
 }
 
+/**
+ * Shortest decimal form of `v` that strtod parses back to exactly
+ * `v`: rates round-trip through toString() without drifting and
+ * without dragging 17 digits into every repro.
+ */
+std::string
+formatRate(double v)
+{
+    char buf[64];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
 } // namespace
 
 const char *
@@ -131,6 +155,51 @@ faultSiteName(FaultSite site)
       case FaultSite::kCount: break;
     }
     return "?";
+}
+
+std::string
+faultRuleToString(const FaultRule &rule)
+{
+    std::string out = rule.scheduled
+                          ? "at=" + std::to_string(rule.at)
+                          : "rate=" + formatRate(rule.rate);
+    out += ':';
+    switch (rule.site) {
+      case FaultSite::Ae:
+      case FaultSite::Delta:
+      case FaultSite::Ar:
+      case FaultSite::OeEntry:
+      case FaultSite::CacheTag:
+        out += "flip=";
+        out += faultSiteName(rule.site);
+        break;
+      case FaultSite::MigDrop:
+      case FaultSite::BusDrop:
+        out += faultSiteName(rule.site);
+        break;
+      case FaultSite::MigDelay:
+        out += "mig_delay=" + std::to_string(rule.delay);
+        break;
+      case FaultSite::CoreOff:
+      case FaultSite::CoreOn:
+        out += faultSiteName(rule.site);
+        out += '=' + std::to_string(rule.core);
+        break;
+      case FaultSite::kCount:
+        XMIG_PANIC("faultRuleToString on kCount");
+    }
+    return out;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out = "seed=" + std::to_string(seed);
+    for (const FaultRule &r : scheduled)
+        out += ';' + faultRuleToString(r);
+    for (const FaultRule &r : rates)
+        out += ';' + faultRuleToString(r);
+    return out;
 }
 
 bool
@@ -156,16 +225,19 @@ FaultPlan::parse(const std::string &spec, FaultPlan *plan,
     };
 
     size_t pos = 0;
-    while (pos <= spec.size()) {
+    while (pos <= spec.size() && !spec.empty()) {
         size_t end = spec.find(';', pos);
-        if (end == std::string::npos)
+        const bool last = end == std::string::npos;
+        if (last)
             end = spec.size();
         const std::string stmt = spec.substr(pos, end - pos);
         pos = end + 1;
         if (stmt.empty()) {
-            if (pos > spec.size())
-                break; // trailing end; empty spec or trailing ';'
-            continue;
+            // Only the empty *spec* is inert; an empty statement is a
+            // malformed plan (a stray or trailing ';' usually means a
+            // statement got lost in shell quoting).
+            return fail(last ? "trailing ';' (empty statement)"
+                             : "empty statement (stray ';')");
         }
 
         if (stmt.rfind("seed=", 0) == 0) {

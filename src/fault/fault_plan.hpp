@@ -68,7 +68,16 @@ struct FaultRule
     bool scheduled = false; ///< at-rule (true) vs rate-rule (false)
     unsigned core = 0;   ///< CoreOff / CoreOn target
     uint64_t delay = 0;  ///< MigDelay request count
+
+    bool operator==(const FaultRule &) const = default;
 };
+
+/**
+ * Statement form of one rule, re-parseable by FaultPlan::parse:
+ * "at=500000:core_off=2", "rate=1e-05:flip=oe", ... Rates print with
+ * the fewest significant digits that strtod round-trips exactly.
+ */
+std::string faultRuleToString(const FaultRule &rule);
 
 /**
  * A parsed, validated fault schedule. Inert when empty().
@@ -81,13 +90,25 @@ struct FaultPlan
 
     bool empty() const { return scheduled.empty() && rates.empty(); }
 
+    bool operator==(const FaultPlan &) const = default;
+
     /** True if any rule (either flavor) targets `site`. */
     bool targets(FaultSite site) const;
 
     /**
+     * Normalized spec string: "seed=S" first, then the scheduled
+     * rules in tick order, then the rate rules in parse order. The
+     * result re-parses to an identical plan (round-trip property,
+     * tests/test_fault_plan.cpp); xmig-forge relies on it to print
+     * minimized repros.
+     */
+    std::string toString() const;
+
+    /**
      * Parse `spec` into `plan`. Returns false (and a human-readable
      * message in `error` if non-null) on malformed specs; `plan` is
-     * untouched on failure. The empty string parses to an inert plan.
+     * untouched on failure. The empty string parses to an inert plan;
+     * empty *statements* (stray or trailing ';') are errors.
      */
     static bool parse(const std::string &spec, FaultPlan *plan,
                       std::string *error = nullptr);

@@ -1,0 +1,144 @@
+#include "fuzz/campaign.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/runner/job_pool.hpp"
+#include "util/contracts.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+
+namespace {
+
+/** Write `body` to `path`; fatal on I/O failure (repros must land). */
+void
+writeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        XMIG_FATAL("cannot write repro file '%s'", path.c_str());
+    const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size() && std::fclose(f) == 0;
+    if (!ok)
+        XMIG_FATAL("short write to repro file '%s'", path.c_str());
+}
+
+size_t
+statementCount(const std::string &spec)
+{
+    if (spec.empty())
+        return 0;
+    size_t n = 1;
+    for (char c : spec)
+        n += c == ';' ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+std::string
+renderRepro(const CampaignFailure &f)
+{
+    std::ostringstream out;
+    out << "# xmig-forge minimized repro (case " << f.caseIndex
+        << ")\n"
+        << "# replay: xmig_fuzz --replay '" << f.minimized.plan
+        << "' --workload-seed " << f.minimized.workloadSeed
+        << " --bench " << f.minimized.benchmark << " --instr "
+        << f.minimized.instructions << "\n"
+        << "plan=" << f.minimized.plan << "\n"
+        << "benchmark=" << f.minimized.benchmark << "\n"
+        << "workload_seed=" << f.minimized.workloadSeed << "\n"
+        << "instructions=" << f.minimized.instructions << "\n"
+        << "statements=" << statementCount(f.minimized.plan) << "\n"
+        << "oracle=" << f.failure.oracle << "\n"
+        << "original_plan=" << f.original.plan << "\n"
+        << "detail=" << f.failure.detail << "\n";
+    return out.str();
+}
+
+std::string
+CampaignResult::summary() const
+{
+    std::ostringstream out;
+    out << "cases=" << cases << " refs=" << refs
+        << " faults_injected=" << faultsInjected
+        << " failures=" << failures.size() << "\n";
+    for (const CampaignFailure &f : failures) {
+        out << "FAIL case=" << f.caseIndex
+            << " oracle=" << f.failure.oracle
+            << " statements=" << statementCount(f.minimized.plan)
+            << " plan=" << f.minimized.plan;
+        if (!f.reproPath.empty())
+            out << " repro=" << f.reproPath;
+        out << "\n";
+    }
+    return out.str();
+}
+
+CampaignResult
+runCampaign(const CampaignConfig &config,
+            const PropertyHarness &harness, const JobPool &pool)
+{
+    XMIG_ASSERT(config.plans > 0, "campaign needs at least one plan");
+
+    // Draw every case on the caller thread, before the fan-out: the
+    // case list (and therefore the whole campaign) depends only on
+    // the campaign seed, never on worker scheduling.
+    PlanGenerator generator(config.seed, config.generator);
+    Rng seeder(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<FuzzCase> cases;
+    cases.reserve(config.plans);
+    for (uint64_t i = 0; i < config.plans; ++i) {
+        FuzzCase c;
+        c.plan = generator.next().spec();
+        c.benchmark = config.benchmark;
+        c.workloadSeed = seeder.next() >> 1;
+        c.instructions = config.instructions;
+        cases.push_back(std::move(c));
+    }
+
+    const std::vector<CaseResult> results = runIndexed<CaseResult>(
+        pool, cases.size(),
+        [&](size_t i) { return harness.run(cases[i]); });
+
+    CampaignResult out;
+    out.cases = config.plans;
+    for (size_t i = 0; i < results.size(); ++i) {
+        out.refs += results[i].refs;
+        out.faultsInjected += results[i].faultsInjected;
+        if (!results[i].failed())
+            continue;
+
+        // Minimize serially, in case order: probe runs are
+        // deterministic, so the minimized plans are too.
+        CampaignFailure f;
+        f.caseIndex = i;
+        f.original = cases[i];
+        f.minimized = cases[i];
+        f.failure = results[i].failures.front();
+        if (config.minimize) {
+            PlanMinimizer minimizer(harness, config.minimizer);
+            const MinimizeResult m =
+                minimizer.minimize(cases[i], f.failure.oracle);
+            f.probes = m.probes;
+            if (m.stillFails)
+                f.minimized = m.minimized;
+            else
+                XMIG_WARN("case %zu failure (%s) did not reproduce "
+                          "under minimization; keeping the full plan",
+                          i, f.failure.oracle.c_str());
+        }
+        if (!config.reproDir.empty()) {
+            f.reproPath = config.reproDir + "/repro_case" +
+                          std::to_string(i) + ".txt";
+            writeFile(f.reproPath, renderRepro(f));
+        }
+        out.failures.push_back(std::move(f));
+    }
+    return out;
+}
+
+} // namespace xmig

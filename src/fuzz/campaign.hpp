@@ -1,0 +1,85 @@
+/**
+ * @file
+ * xmig-forge campaigns: sharded, replayable fuzzing runs.
+ *
+ * A campaign is fully determined by (campaign seed, plan count,
+ * generator/harness config): every case's plan and workload seed is
+ * drawn from the campaign RNG *before* the parallel fan-out, cases
+ * execute on the JobPool in any order, and results are collated in
+ * case-index order — so the summary text and any repro files are
+ * byte-identical at every --jobs value (the xmig-swift contract,
+ * docs/parallelism.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/minimizer.hpp"
+#include "fuzz/plan_generator.hpp"
+#include "fuzz/property_harness.hpp"
+
+namespace xmig {
+
+class JobPool;
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    uint64_t seed = 1;
+    uint64_t plans = 200;
+    std::string benchmark = "181.mcf";
+    uint64_t instructions = 150'000;
+    bool minimize = true;
+
+    /** Directory for repro files; empty = don't write any. */
+    std::string reproDir;
+
+    GeneratorConfig generator;
+    PlanMinimizer::Config minimizer;
+};
+
+/** One surviving (post-minimization) failure. */
+struct CampaignFailure
+{
+    uint64_t caseIndex = 0;
+    FuzzCase original;      ///< as generated
+    FuzzCase minimized;     ///< == original when minimization is off
+    OracleFailure failure;  ///< first failure of the case
+    uint64_t probes = 0;    ///< minimizer probes spent
+    std::string reproPath;  ///< file written, if reproDir was set
+};
+
+/** Campaign outcome. */
+struct CampaignResult
+{
+    uint64_t cases = 0;
+    uint64_t refs = 0;           ///< total references simulated
+    uint64_t faultsInjected = 0; ///< total injector firings
+    std::vector<CampaignFailure> failures;
+
+    /**
+     * Deterministic text summary (excludes jobs count and timing on
+     * purpose: it must be byte-identical at any parallelism).
+     */
+    std::string summary() const;
+};
+
+/**
+ * The repro file body for one failure: the minimized plan plus
+ * everything needed to replay it with `xmig_fuzz --replay`.
+ */
+std::string renderRepro(const CampaignFailure &f);
+
+/**
+ * Run a campaign: generate `config.plans` cases from `config.seed`,
+ * execute them across `pool`, minimize any failures serially (in
+ * case order), and write repro files if requested.
+ */
+CampaignResult runCampaign(const CampaignConfig &config,
+                           const PropertyHarness &harness,
+                           const JobPool &pool);
+
+} // namespace xmig

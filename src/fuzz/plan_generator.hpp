@@ -1,0 +1,94 @@
+/**
+ * @file
+ * xmig-forge plan generation: seeded sampling of random-but-valid
+ * FaultPlan spec strings over the full fault_plan.hpp grammar.
+ *
+ * Instead of hand-picking adversarial fault schedules, the fuzzer
+ * searches the plan space: every one of the ten fault sites, both
+ * trigger flavors (scheduled `at=` and probabilistic `rate=`),
+ * core-churn pairs, and deliberately nasty boundary shapes — events
+ * at tick 0, back-to-back `core_off`/`core_on`, rates at exactly 0
+ * and 1, duplicated statements, bogus core ids the machine must
+ * shrug off. Every sampled plan is valid by construction (the
+ * generator tests parse each one), and a generator seed replays the
+ * exact same plan sequence, so a whole campaign is reproducible from
+ * one campaign seed (see fuzz/campaign.hpp).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+
+/** Shape of the plans a PlanGenerator samples. */
+struct GeneratorConfig
+{
+    /** Core count of the machine the plans will run against. */
+    unsigned cores = 4;
+
+    /**
+     * Scheduled `at=` ticks land in [0, tickHorizon]; boundary picks
+     * include 0, 1, the horizon itself and just past it (an event
+     * that never fires). 0 = default horizon (400k ticks).
+     */
+    uint64_t tickHorizon = 0;
+
+    /** Statement budget per plan (the seed= statement is extra). */
+    unsigned maxStatements = 12;
+
+    /** Probability that a numeric value is a boundary value. */
+    double boundaryBias = 0.4;
+
+    /** Probability that a statement duplicates an earlier one. */
+    double duplicateBias = 0.15;
+
+    /**
+     * Cap on probabilistic core-churn rates. Rate churn draws once
+     * per tick, so a rate near 1 would flip topology every reference
+     * and drown stderr in ignored-event warnings; the churn boundary
+     * is explored through scheduled back-to-back pairs instead.
+     */
+    double maxChurnRate = 1e-4;
+};
+
+/** One sampled plan: its statements, joinable into a spec string. */
+struct FuzzPlan
+{
+    std::vector<std::string> statements;
+
+    /** The statements joined with ';' (FaultPlan::parse input). */
+    std::string spec() const;
+};
+
+/**
+ * Seeded sampler of valid FaultPlan specs. Same (seed, config) =>
+ * same plan sequence, bit for bit.
+ */
+class PlanGenerator
+{
+  public:
+    explicit PlanGenerator(uint64_t seed, GeneratorConfig config = {});
+
+    /** Sample the next plan. */
+    FuzzPlan next();
+
+    const GeneratorConfig &config() const { return config_; }
+
+  private:
+    uint64_t sampleTick(uint64_t previous_tick);
+    double sampleRate();
+    std::string sampleFlipOrFabric(bool &scheduled_out,
+                                   uint64_t &tick_io);
+    void appendChurn(std::vector<std::string> &out, uint64_t &tick_io);
+
+    GeneratorConfig config_;
+    Rng rng_;
+};
+
+} // namespace xmig

@@ -12,6 +12,7 @@
 
 #include "core/engine.hpp"
 #include "core/shadow_audit.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/migration_controller.hpp"
 #include "mem/ref.hpp"
 #include "multicore/machine.hpp"
@@ -243,6 +244,110 @@ TEST(MachineCheckpoint, RestoreIsDeterministic)
     EXPECT_EQ(b.stats().migrations, c.stats().migrations);
     EXPECT_EQ(b.activeCore(), c.activeCore());
     EXPECT_EQ(b.countMultiModifiedLines(), 0u);
+}
+
+TEST(ControllerCheckpoint, RestoredDegradedControllerCanRejoin)
+{
+    // Checkpoint *between* a core_off and its core_on: the restored
+    // controller must come back with the degraded mask and accept
+    // the rejoin later, accumulating recovery counters on top of the
+    // restored values.
+    const MigrationControllerConfig cfg = controllerConfig();
+    MigrationController a(cfg);
+    CircularStream s(4000);
+    for (int i = 0; i < 200'000; ++i)
+        a.onRequest(s.next());
+    a.setCoreOffline(1);
+    for (int i = 0; i < 100'000; ++i)
+        a.onRequest(s.next());
+
+    const ControllerCheckpoint ckpt = a.checkpoint();
+    ASSERT_EQ(ckpt.liveMask, 0b1101u);
+    ASSERT_EQ(ckpt.recovery.coresLost, 1u);
+    ASSERT_EQ(ckpt.recovery.coresJoined, 0u);
+
+    MigrationController b(cfg);
+    b.restore(ckpt);
+    ASSERT_EQ(b.liveCores(), 3u);
+    b.setCoreOnline(1);
+    EXPECT_EQ(b.liveCores(), 4u);
+    EXPECT_EQ(b.splitWays(), 4u);
+    EXPECT_EQ(b.recovery().coresLost, 1u) << "restored value kept";
+    EXPECT_EQ(b.recovery().coresJoined, 1u);
+    EXPECT_GE(b.recovery().resplits, ckpt.recovery.resplits + 1);
+    // Keeps running with every audit green on the rejoined split.
+    std::set<unsigned> used;
+    for (int i = 0; i < 200'000; ++i)
+        used.insert(b.onRequest(s.next()));
+    EXPECT_GE(used.size(), 2u);
+}
+
+TEST(MachineCheckpoint, RestoreIntoDegradedLiveMask)
+{
+    // The fuzz harness's checkpoint oracle in miniature, pinned to
+    // the nastiest spot: the checkpoint lands while a core is
+    // unplugged, and the restored machines later accept its rejoin.
+    if (!kFaultEnabled)
+        GTEST_SKIP() << "fault hooks compiled out";
+    MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.faultPlan = "seed=4;at=60000:core_off=1";
+    MigrationMachine a(cfg);
+    CircularStream s(20'000);
+    for (uint64_t i = 0; i < 75'000; ++i) {
+        a.access(MemRef::ifetch(0x400000 + (i % 4096) * 4));
+        const uint64_t addr = s.next() * 64;
+        a.access(i % 4 == 0 ? MemRef::store(addr)
+                            : MemRef::load(addr));
+    }
+    ASSERT_EQ(a.stats().coreOffEvents, 1u);
+
+    const MachineCheckpoint ckpt = a.checkpoint();
+    ASSERT_TRUE(ckpt.hasController);
+    ASSERT_EQ(ckpt.controller.liveMask, 0b1101u);
+    ASSERT_EQ(ckpt.controller.splitWays, 2u);
+
+    // Restore into fresh machines whose (fresh, tick-0) injectors
+    // schedule the rejoin: a restore into a *degraded* live mask
+    // that later heals back to the full split.
+    MachineConfig cfg2 = cfg;
+    cfg2.faultPlan = "seed=4;at=50000:core_on=1";
+    MigrationMachine b(cfg2), c(cfg2);
+    b.restore(ckpt);
+    c.restore(ckpt);
+    ASSERT_EQ(b.controller()->liveCores(), 3u);
+    ASSERT_EQ(b.controller()->splitWays(), 2u);
+    EXPECT_EQ(b.activeCore(), a.activeCore());
+
+    CircularStream sb(20'000), sc(20'000);
+    for (uint64_t i = 0; i < 75'000; ++i) {
+        sb.next();
+        sc.next();
+    }
+    for (uint64_t i = 75'000; i < 150'000; ++i) {
+        const MemRef ifetch =
+            MemRef::ifetch(0x400000 + (i % 4096) * 4);
+        b.access(ifetch);
+        c.access(ifetch);
+        const uint64_t addr = sb.next() * 64;
+        ASSERT_EQ(sc.next() * 64, addr);
+        const MemRef data = i % 4 == 0 ? MemRef::store(addr)
+                                       : MemRef::load(addr);
+        b.access(data);
+        c.access(data);
+    }
+
+    // The rejoin fired on both restored machines...
+    EXPECT_EQ(b.stats().coreOnEvents, 1u);
+    EXPECT_EQ(b.controller()->liveCores(), 4u);
+    EXPECT_EQ(b.controller()->splitWays(), 4u);
+    // ...and they stayed bit-identical to each other throughout.
+    EXPECT_EQ(b.stats().l2Misses, c.stats().l2Misses);
+    EXPECT_EQ(b.stats().migrations, c.stats().migrations);
+    EXPECT_EQ(b.stats().coreOnEvents, c.stats().coreOnEvents);
+    EXPECT_EQ(b.activeCore(), c.activeCore());
+    EXPECT_EQ(b.countMultiModifiedLines(), 0u);
+    EXPECT_EQ(c.countMultiModifiedLines(), 0u);
 }
 
 TEST(MachineCheckpoint, SingleCoreMachineRoundTrips)

@@ -125,6 +125,120 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     mustFail("frobnicate=1");           // unknown statement
 }
 
+TEST(FaultPlan, RejectsEmptyStatements)
+{
+    mustFail(";");                      // lone separator
+    mustFail(";at=5:flip=ae");          // leading ';'
+    mustFail("at=5:flip=ae;");          // trailing ';'
+    mustFail("at=5:flip=ae;;rate=0.1:bus_drop"); // interior ';;'
+    EXPECT_NE(mustFail("at=5:flip=ae;").find("trailing"),
+              std::string::npos);
+    EXPECT_NE(mustFail(";at=5:flip=ae").find("stray"),
+              std::string::npos);
+}
+
+TEST(FaultPlan, RejectsBadRatesPerProduction)
+{
+    mustFail("rate=:bus_drop");         // empty rate
+    mustFail("rate=1.0001:bus_drop");   // just above 1
+    mustFail("rate=inf:bus_drop");      // non-finite
+    mustFail("rate=-inf:bus_drop");     // non-finite, negative
+    mustFail("rate=nan:bus_drop");      // not a number
+    mustFail("rate=1e400:bus_drop");    // overflows a double
+    mustFail("rate=0.5x:bus_drop");     // trailing garbage
+    mustFail("rate= 0.5:bus_drop");     // embedded blank
+    mustFail("rate=-0:bus_drop");       // negative zero
+    mustFail("rate=+0.5:bus_drop");     // explicit sign
+    mustParse("rate=0:bus_drop");       // boundaries are legal...
+    mustParse("rate=1:bus_drop");
+    mustParse("rate=1e-300:bus_drop");  // ...and so are tiny rates
+}
+
+TEST(FaultPlan, RejectsBadTicksPerProduction)
+{
+    mustFail("at=-1:flip=ae");          // signed
+    mustFail("at=+1:flip=ae");          // explicit sign
+    mustFail("at= 1:flip=ae");          // embedded blank
+    mustFail("at=1.5:flip=ae");         // fractional
+    mustFail("at=99999999999999999999:flip=ae"); // > UINT64_MAX
+    mustFail("at=12x:flip=ae");         // trailing garbage
+    mustParse("at=0:flip=ae");          // tick 0 is legal
+    mustParse("at=18446744073709551615:flip=ae"); // UINT64_MAX too
+}
+
+TEST(FaultPlan, RejectsBadSeedsAndTriggers)
+{
+    mustFail("seed=-3");                // signed seed
+    mustFail("seed=3.5");               // fractional seed
+    mustFail("seed=0x10");              // hex not accepted
+    mustFail("at5:flip=ae");            // mangled trigger key
+    mustFail("flip=ae");                // event without a trigger
+    mustFail("at=5");                   // trigger without an event
+    mustFail("at=5:");                  // empty event
+    mustFail("rate=0.1:core_on");       // churn without a core id
+    mustFail("at=5:bus_drop=1");        // stray bus_drop argument
+    mustFail("at=5:flip");              // flip without a site
+}
+
+TEST(FaultPlan, ToStringMatchesTheDocExampleGolden)
+{
+    const FaultPlan plan = mustParse(
+        "seed=7;at=500000:core_off=2;at=900000:core_on=2;"
+        "rate=1e-5:flip=oe;rate=1e-6:mig_drop;rate=1e-6:bus_drop");
+    EXPECT_EQ(plan.toString(),
+              "seed=7;at=500000:core_off=2;at=900000:core_on=2;"
+              "rate=1e-05:flip=oe;rate=1e-06:mig_drop;"
+              "rate=1e-06:bus_drop");
+}
+
+TEST(FaultPlan, ToStringRoundTripsBoundarySpecs)
+{
+    const char *specs[] = {
+        "",
+        "seed=18446744073709551615",
+        "at=0:flip=ae;at=18446744073709551615:flip=tag",
+        "rate=0:bus_drop;rate=1:mig_drop",
+        "rate=0.3333333333333333:flip=delta", // needs 16 digits
+        "rate=1e-300:flip=ar",
+        "at=1:core_off=0;at=1:core_on=0;at=1:core_off=63",
+        "rate=0.5:mig_delay=18446744073709551615",
+        "seed=9;at=10:flip=ae;at=10:flip=ae", // duplicates survive
+    };
+    for (const char *spec : specs) {
+        const FaultPlan plan = mustParse(spec);
+        const FaultPlan again = mustParse(plan.toString());
+        EXPECT_EQ(plan, again) << spec << " -> " << plan.toString();
+        // Printing is a fixed point: parse(print(p)) prints the same.
+        EXPECT_EQ(again.toString(), plan.toString());
+    }
+}
+
+TEST(FaultPlan, ToStringNormalizesScheduledOrder)
+{
+    // Parse sorts scheduled rules by tick, so printing follows tick
+    // order regardless of the spelling order.
+    const FaultPlan plan =
+        mustParse("at=900:flip=ae;at=100:flip=delta");
+    EXPECT_EQ(plan.toString(),
+              "seed=1;at=100:flip=delta;at=900:flip=ae");
+}
+
+TEST(FaultPlan, RuleToStringCoversEverySiteShape)
+{
+    const FaultPlan plan = mustParse(
+        "at=3:flip=ae;at=4:mig_drop;at=5:mig_delay=7;at=6:bus_drop;"
+        "at=7:core_off=2;at=8:core_on=3");
+    ASSERT_EQ(plan.scheduled.size(), 6u);
+    EXPECT_EQ(faultRuleToString(plan.scheduled[0]), "at=3:flip=ae");
+    EXPECT_EQ(faultRuleToString(plan.scheduled[1]), "at=4:mig_drop");
+    EXPECT_EQ(faultRuleToString(plan.scheduled[2]),
+              "at=5:mig_delay=7");
+    EXPECT_EQ(faultRuleToString(plan.scheduled[3]), "at=6:bus_drop");
+    EXPECT_EQ(faultRuleToString(plan.scheduled[4]),
+              "at=7:core_off=2");
+    EXPECT_EQ(faultRuleToString(plan.scheduled[5]), "at=8:core_on=3");
+}
+
 TEST(FaultPlan, FailedParseLeavesPlanUntouched)
 {
     FaultPlan plan = mustParse("seed=9;at=10:flip=ae");

@@ -231,6 +231,80 @@ TEST(Recovery, MachineAppliesScheduledCoreLoss)
               machine.controller()->activeCore());
 }
 
+TEST(Recovery, RestoredDegradedControllerAccumulatesRecoveryStats)
+{
+    // A checkpoint taken between core_off and core_on carries the
+    // degraded mask *and* the recovery counters; churn after restore
+    // must accumulate on top of the restored values, not reset them.
+    MigrationController a(baseConfig(4));
+    CircularStream stream(4000);
+    train(a, stream, 300'000);
+    a.setCoreOffline(2);
+    train(a, stream, 100'000);
+    const ControllerCheckpoint ckpt = a.checkpoint();
+
+    MigrationController b(baseConfig(4));
+    b.restore(ckpt);
+    EXPECT_EQ(b.liveMask(), 0b1011u);
+    EXPECT_EQ(b.recovery().coresLost, 1u);
+
+    // Further churn on the restored controller: lose another core,
+    // then complete the original pair's rejoin.
+    b.setCoreOffline(3);
+    b.setCoreOnline(2);
+    EXPECT_EQ(b.recovery().coresLost, 2u);
+    EXPECT_EQ(b.recovery().coresJoined, 1u);
+    EXPECT_EQ(b.liveCores(), 3u); // 0, 1, 2
+    EXPECT_EQ(b.splitWays(), 2u);
+    EXPECT_GE(b.recovery().resplits, ckpt.recovery.resplits);
+
+    // And it keeps serving requests over the survivors.
+    const auto hist = targetHistogram(b, stream, 8000);
+    for (const auto &[core, count] : hist)
+        EXPECT_NE(core, 3u);
+}
+
+TEST(Recovery, MachineRestoredMidChurnCompletesTheRejoin)
+{
+    // Machine-level mirror of the controller test above: checkpoint
+    // while a scheduled core_off/core_on pair is half-applied, restore
+    // into a fresh machine whose injector carries the matching
+    // core_on, and check the rejoin completes on restored state.
+    if (!kFaultEnabled)
+        GTEST_SKIP() << "fault hooks compiled out";
+    MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.faultPlan = "seed=6;at=40000:core_off=2";
+    MigrationMachine machine(cfg);
+    CircularStream stream(20'000);
+    for (uint64_t i = 0; i < 60'000; ++i) {
+        machine.access(MemRef::ifetch(0x400000 + (i % 4096) * 4));
+        machine.access(MemRef::load(stream.next() * 64));
+    }
+    ASSERT_EQ(machine.stats().coreOffEvents, 1u);
+    const MachineCheckpoint ckpt = machine.checkpoint();
+    ASSERT_EQ(ckpt.controller.liveMask, 0b1011u);
+
+    MachineConfig cfg2 = cfg;
+    cfg2.faultPlan = "seed=6;at=30000:core_on=2";
+    MigrationMachine restored(cfg2);
+    restored.restore(ckpt);
+    ASSERT_NE(restored.controller(), nullptr);
+    EXPECT_EQ(restored.controller()->liveCores(), 3u);
+
+    for (uint64_t i = 0; i < 60'000; ++i) {
+        restored.access(MemRef::ifetch(0x400000 + (i % 4096) * 4));
+        restored.access(MemRef::load(stream.next() * 64));
+    }
+    EXPECT_EQ(restored.stats().coreOffEvents, 1u); // restored value
+    EXPECT_EQ(restored.stats().coreOnEvents, 1u);
+    EXPECT_EQ(restored.controller()->liveCores(), 4u);
+    EXPECT_EQ(restored.controller()->splitWays(), 4u);
+    EXPECT_EQ(restored.controller()->recovery().coresLost, 1u);
+    EXPECT_EQ(restored.controller()->recovery().coresJoined, 1u);
+    EXPECT_EQ(restored.countMultiModifiedLines(), 0u);
+}
+
 TEST(Recovery, MachineSurvivesChurnAndRejoin)
 {
     if (!kFaultEnabled)

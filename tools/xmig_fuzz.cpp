@@ -1,0 +1,247 @@
+/**
+ * @file
+ * xmig_fuzz: the xmig-forge campaign driver (docs/robustness.md §7).
+ *
+ * Modes:
+ *
+ *   campaign (default)
+ *     xmig_fuzz --seed S --plans N --jobs J [--repro-dir DIR]
+ *               [--no-minimize] [--bench NAME] [--instr I]
+ *     Runs an N-plan campaign. The summary on stdout and any repro
+ *     files are byte-identical for fixed (S, N) at any J. Exit 1 if
+ *     any failure survives.
+ *
+ *   replay
+ *     xmig_fuzz --replay 'PLAN' [--workload-seed W] [--bench NAME]
+ *               [--instr I]
+ *     Re-runs one (plan, workload) case — the command a repro file
+ *     prints — and reports every oracle verdict. Exit 1 on failure.
+ *
+ *   self-test
+ *     xmig_fuzz --self-test [--repro-dir DIR]
+ *     Arms the deliberately broken test-only oracle, verifies a
+ *     known-bad plan trips it, and proves the minimizer pipeline
+ *     reduces it to <= 3 statements, twice, identically. Exit 0 iff
+ *     the whole pipeline fired.
+ *
+ * BenchOptions flags (--seed, --jobs, --instr, --bench, --smoke)
+ * keep their usual meaning; --seed is the *campaign* seed.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "sim/options.hpp"
+#include "sim/runner/job_pool.hpp"
+#include "sim/runner/sweep.hpp"
+
+using namespace xmig;
+
+namespace {
+
+struct FuzzCli
+{
+    uint64_t plans = 200;
+    std::string reproDir;
+    bool minimize = true;
+    bool selfTest = false;
+    bool verbose = false;
+    bool hasReplay = false;
+    std::string replayPlan;
+    uint64_t workloadSeed = 42;
+    bool instrExplicit = false;
+};
+
+FuzzCli
+parseFuzzFlags(int argc, char **argv)
+{
+    // BenchOptions::parse already walked argv and ignored these; this
+    // pass picks up the fuzz-only flags.
+    FuzzCli cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--plans")
+            cli.plans = BenchOptions::parseCount("--plans", next());
+        else if (arg == "--repro-dir")
+            cli.reproDir = next();
+        else if (arg == "--no-minimize")
+            cli.minimize = false;
+        else if (arg == "--self-test")
+            cli.selfTest = true;
+        else if (arg == "--verbose")
+            cli.verbose = true;
+        else if (arg == "--replay") {
+            cli.hasReplay = true;
+            cli.replayPlan = next();
+        } else if (arg == "--workload-seed")
+            cli.workloadSeed =
+                BenchOptions::parseCount("--workload-seed", next());
+        else if (arg == "--instr")
+            cli.instrExplicit = true;
+    }
+    return cli;
+}
+
+int
+replayMode(const FuzzCli &cli, const BenchOptions &opt,
+           uint64_t instructions)
+{
+    FuzzCase c;
+    c.plan = cli.replayPlan;
+    c.benchmark = opt.benchmarks.empty() ? "181.mcf"
+                                         : opt.benchmarks.front();
+    c.workloadSeed = cli.workloadSeed;
+    c.instructions = instructions;
+
+    const PropertyHarness harness;
+    const CaseResult r = harness.run(c);
+    std::string out = "plan=" + c.plan + "\n";
+    if (r.failed()) {
+        for (const OracleFailure &f : r.failures)
+            out += "FAIL oracle=" + f.oracle + " detail=" + f.detail +
+                   "\n";
+    } else {
+        out += "ok: all oracles passed (refs=" +
+               std::to_string(r.refs) + ", faults_injected=" +
+               std::to_string(r.faultsInjected) + ")\n";
+    }
+    flushAtomically(out, stdout);
+    return r.failed() ? 1 : 0;
+}
+
+int
+selfTestMode(const FuzzCli &cli, uint64_t instructions)
+{
+    // A known-bad plan for the broken oracle (it targets both
+    // core_off and bus_drop), padded with statements the minimizer
+    // must discard.
+    FuzzCase bad;
+    bad.plan = "seed=9;at=120000:core_off=1;rate=0.001:flip=ae;"
+               "at=60000:mig_delay=8;rate=0.0002:bus_drop;"
+               "at=200000:core_on=1;rate=0.0001:mig_drop;at=1:flip=tag";
+    bad.instructions = instructions;
+
+    HarnessConfig hc;
+    hc.brokenOracle = true;
+    const PropertyHarness harness(hc);
+
+    const CaseResult r = harness.run(bad);
+    bool tripped = false;
+    for (const OracleFailure &f : r.failures)
+        tripped = tripped || f.oracle == "broken_self_test";
+    if (!tripped) {
+        flushAtomically("self-test FAILED: broken oracle did not "
+                        "fire on the known-bad plan\n", stdout);
+        return 1;
+    }
+
+    const PlanMinimizer minimizer(harness);
+    const MinimizeResult m1 =
+        minimizer.minimize(bad, "broken_self_test");
+    const MinimizeResult m2 =
+        minimizer.minimize(bad, "broken_self_test");
+
+    std::string out;
+    out += "minimized: " + m1.minimized.plan + " (probes=" +
+           std::to_string(m1.probes) + ")\n";
+
+    const auto stmtCount = [](const std::string &spec) {
+        size_t n = spec.empty() ? 0 : 1;
+        for (char ch : spec)
+            n += ch == ';' ? 1 : 0;
+        return n;
+    };
+    bool ok = m1.stillFails;
+    if (!m1.stillFails)
+        out += "self-test FAILED: failure did not reproduce under "
+               "minimization\n";
+    if (stmtCount(m1.minimized.plan) > 3) {
+        ok = false;
+        out += "self-test FAILED: minimized plan still has " +
+               std::to_string(stmtCount(m1.minimized.plan)) +
+               " statements (want <= 3)\n";
+    }
+    if (m1.minimized.plan != m2.minimized.plan ||
+        m1.probes != m2.probes) {
+        ok = false;
+        out += "self-test FAILED: minimization is not deterministic "
+               "(got '" + m2.minimized.plan + "' on the second run)\n";
+    }
+
+    if (ok && !cli.reproDir.empty()) {
+        // Exercise the repro-writing path end to end, so CI can
+        // assert the artifact exists.
+        CampaignFailure f;
+        f.caseIndex = 0;
+        f.original = bad;
+        f.minimized = m1.minimized;
+        f.failure = {"broken_self_test", "self-test pipeline proof"};
+        f.probes = m1.probes;
+        const std::string path =
+            cli.reproDir + "/repro_selftest.txt";
+        std::FILE *file = std::fopen(path.c_str(), "wb");
+        if (file == nullptr) {
+            out += "self-test FAILED: cannot write " + path + "\n";
+            ok = false;
+        } else {
+            const std::string body = renderRepro(f);
+            std::fwrite(body.data(), 1, body.size(), file);
+            std::fclose(file);
+            out += "repro written: " + path + "\n";
+        }
+    }
+
+    out += ok ? "self-test ok: find -> minimize -> repro pipeline "
+                "fired\n"
+              : "";
+    flushAtomically(out, stdout);
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = BenchOptions::parse(argc, argv);
+    const FuzzCli cli = parseFuzzFlags(argc, argv);
+
+    // Fuzz cases are short by design (thousands of plans beat one
+    // long run); the BenchOptions 2e7 default is for full benchmark
+    // sweeps, so default to 150k unless --instr was given.
+    const uint64_t instructions =
+        cli.instrExplicit ? opt.instructions
+                          : (opt.smoke ? 60'000 : 150'000);
+
+    if (cli.hasReplay)
+        return replayMode(cli, opt, instructions);
+    if (cli.selfTest)
+        return selfTestMode(cli, instructions);
+
+    CampaignConfig config;
+    config.seed = opt.seed;
+    config.plans = opt.smoke && cli.plans == 200 ? 50 : cli.plans;
+    config.instructions = instructions;
+    config.minimize = cli.minimize;
+    config.reproDir = cli.reproDir;
+    if (!opt.benchmarks.empty())
+        config.benchmark = opt.benchmarks.front();
+
+    const PropertyHarness harness;
+    const JobPool pool(opt.jobs);
+    if (cli.verbose)
+        std::fprintf(stderr,
+                     "xmig_fuzz: seed=%llu plans=%llu jobs=%u "
+                     "instr=%llu\n",
+                     (unsigned long long)config.seed,
+                     (unsigned long long)config.plans, pool.jobs(),
+                     (unsigned long long)config.instructions);
+
+    const CampaignResult result = runCampaign(config, harness, pool);
+    flushAtomically(result.summary(), stdout);
+    return result.failures.empty() ? 0 : 1;
+}
