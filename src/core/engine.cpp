@@ -28,6 +28,10 @@ AffinityEngine::AffinityEngine(const EngineConfig &config, OeStore &store)
       delta_(config.affinityBits + 1),
       windowAffinity_(arBits(config))
 {
+    XMIG_ASSERT(config_.windowSize > 0 && config_.affinityBits > 0,
+                "degenerate engine config: windowSize=%zu "
+                "affinityBits=%u",
+                config_.windowSize, config_.affinityBits);
     if (config_.window == WindowKind::Fifo)
         fifo_ = std::make_unique<FifoWindow>(config_.windowSize);
     else
@@ -223,6 +227,8 @@ AffinityEngine::reference(uint64_t line)
 void
 AffinityEngine::injectSoftErrors(RefOutcome &out)
 {
+    XMIG_ASSERT(config_.faults != nullptr,
+                "injectSoftErrors called with no injector armed");
     FaultInjector &fi = *config_.faults;
     bool injected = false;
     if (fi.armedFor(FaultSite::Ae) && fi.draw(FaultSite::Ae)) {
@@ -273,6 +279,10 @@ AffinityEngine::checkpoint() const
 void
 AffinityEngine::restore(const EngineCheckpoint &ckpt)
 {
+    XMIG_ASSERT(ckpt.window.size() <= config_.windowSize,
+                "checkpoint window (%zu slots) exceeds capacity of the "
+                "engine's configured |R| = %zu",
+                ckpt.window.size(), config_.windowSize);
     delta_.set(ckpt.delta);
     windowAffinity_.set(ckpt.windowAffinity);
     sumIe_ = ckpt.sumIe;

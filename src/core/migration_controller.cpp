@@ -100,6 +100,8 @@ MigrationController::retireSplitter()
         retiredFour_.push_back(std::move(four_));
     if (kway_)
         retiredKway_.push_back(std::move(kway_));
+    XMIG_AUDIT(!two_ && !four_ && !kway_,
+               "a splitter survived retirement");
 }
 
 void
@@ -141,6 +143,9 @@ MigrationController::applyTopology()
                    {{"ways", ways}, {"live_cores", live}});
     }
     recomputeMapping();
+    XMIG_AUDIT(std::has_single_bit(splitWays_) && splitWays_ <= live,
+               "split arity %u is not a live-fitting power of two "
+               "(%u live cores)", splitWays_, live);
 }
 
 unsigned
@@ -184,6 +189,9 @@ MigrationController::setCoreOffline(unsigned core)
         ++recovery_.forcedMigrations;
     }
     applyTopology();
+    XMIG_AUDIT(liveMask_ >> activeCore_ & 1,
+               "active core %u left dead after core-off recovery",
+               activeCore_);
 }
 
 void
@@ -197,6 +205,10 @@ MigrationController::setCoreOnline(unsigned core)
     liveMask_ |= uint64_t{1} << core;
     ++recovery_.coresJoined;
     applyTopology();
+    XMIG_AUDIT((liveMask_ >> core & 1) &&
+                   (liveMask_ >> activeCore_ & 1),
+               "rejoin of core %u left the topology inconsistent",
+               core);
 }
 
 unsigned
@@ -214,6 +226,8 @@ MigrationController::subset() const
 void
 MigrationController::injectStoreFaults()
 {
+    XMIG_ASSERT(config_.faults != nullptr,
+                "injectStoreFaults called with no injector armed");
     FaultInjector &fi = *config_.faults;
     if (fi.armedFor(FaultSite::OeEntry) && fi.draw(FaultSite::OeEntry) &&
         store_->corruptRandomEntry(fi.rng())) {
@@ -231,6 +245,9 @@ MigrationController::injectStoreFaults()
 void
 MigrationController::disarmRootShadow(const char *reason)
 {
+    XMIG_AUDIT((two_ != nullptr) + (four_ != nullptr) +
+                       (kway_ != nullptr) <= 1,
+               "more than one splitter is live");
     if (two_)
         two_->engine().disarmShadow(reason);
     else if (four_)
@@ -244,6 +261,10 @@ MigrationController::serviceMigrationFabric(uint64_t now)
 {
     if (!pendingValid_)
         return;
+    XMIG_AUDIT(now >= pendingIssued_,
+               "fabric serviced backwards in time: now=%llu < "
+               "issued=%llu", (unsigned long long)now,
+               (unsigned long long)pendingIssued_);
     if (now >= pendingDue_) {
         // Delivery: the fabric acknowledged the (delayed) request.
         const unsigned target = pendingTarget_;
@@ -269,6 +290,8 @@ MigrationController::serviceMigrationFabric(uint64_t now)
 void
 MigrationController::requestMigration(unsigned target, uint64_t now)
 {
+    XMIG_ASSERT(target < config_.numCores,
+                "migration request to nonexistent core %u", target);
     if (watchdog_.enabled() && !watchdog_.migrationAllowed(now))
         return;
 
@@ -491,6 +514,9 @@ MigrationController::splitterTransitions() const
 void
 MigrationController::resetFilters()
 {
+    XMIG_AUDIT((two_ != nullptr) + (four_ != nullptr) +
+                       (kway_ != nullptr) <= 1,
+               "more than one splitter is live");
     if (two_)
         two_->resetFilters();
     else if (four_)

@@ -67,6 +67,7 @@ void
 AffinityCacheStore::store(uint64_t line, int64_t oe)
 {
     ++stats_.stores;
+    auditConsistency();
     const int64_t sat = saturateToBits(oe, config_.affinityBits);
     CacheEntry *entry = tags_->find(line);
     if (entry) {
@@ -218,6 +219,12 @@ AffinityCacheStore::restoreEntries(
         frame.payload = saturateToBits(e.oe, config_.affinityBits);
     }
     stats_ = stats;
+    XMIG_AUDIT(resident_ <= config_.entries &&
+                   resident_ <= entries.size(),
+               "restore overfilled the affinity cache: %llu resident "
+               "from %zu snapshot entries (%llu frames)",
+               (unsigned long long)resident_, entries.size(),
+               (unsigned long long)config_.entries);
 }
 
 std::optional<int64_t>

@@ -25,6 +25,9 @@ ShadowAudit::ShadowAudit(const EngineConfig &config, std::string tag)
       exactAr_(config.ar == ArKind::Exact),
       deepEvery_(config.shadowDeepCheckEvery)
 {
+    XMIG_ASSERT(config.shadow == ShadowMode::Armed,
+                "shadow audit [%s] constructed with shadow mode off",
+                tag_.c_str());
     if (!exactAr_) {
         // The Figure-2 register recurrence tracks entry/exit but not
         // the per-step drift of member affinities, so neither its A_R
@@ -38,6 +41,9 @@ ShadowAudit::disarm(const char *reason)
 {
     if (!armed_)
         return;
+    XMIG_ASSERT(reason != nullptr && *reason != '\0',
+                "shadow audit [%s] disarmed without a reason",
+                tag_.c_str());
     armed_ = false;
     XMIG_TRACE("shadow", "disarm", reason);
     XMIG_WARN("shadow audit [%s] disarmed after %llu comparisons: %s",

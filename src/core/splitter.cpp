@@ -23,6 +23,7 @@ TwoWaySplitter::onReference(uint64_t line, bool update_filter)
             filter_.update(out.ae);
     }
     out.subset = subset();
+    XMIG_AUDIT(out.subset < 2, "2-way subset index %u", out.subset);
     out.transition = out.subset != before;
     if (out.transition)
         ++transitions_;

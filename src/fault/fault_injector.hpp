@@ -20,6 +20,15 @@
  * Scheduled rules latch into per-site "due" flags at tick(); the next
  * draw() for that site consumes the flag. Core events are drained by
  * the owner via drainCoreEvents().
+ *
+ * Thread contract: single-thread confined, like the machine that
+ * owns it — one injector per sweep cell, never shared across pool
+ * workers. Determinism *depends* on that confinement (hook sites
+ * draw from one RNG in simulation order), so the class carries no
+ * locks or capability annotations by design; any future mutex
+ * member here must be annotated or the `naked-mutex` lint rule
+ * fails the build (docs/analysis.md, "Static analysis:
+ * xmig-sentinel").
  */
 
 #pragma once

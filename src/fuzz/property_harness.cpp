@@ -103,6 +103,8 @@ PropertyHarness::run(const FuzzCase &c) const
         return result;
     }
 
+    // xmig-lint: allow(no-wallclock) -- wall-clock watchdog oracle:
+    // host time bounds the *harness*, never reaches a sim result.
     const auto start = std::chrono::steady_clock::now();
 
     // Record the reference stream once; workload emission is
@@ -255,6 +257,8 @@ PropertyHarness::run(const FuzzCase &c) const
     if (config_.timeoutMs != 0) {
         const auto elapsed =
             std::chrono::duration_cast<std::chrono::milliseconds>(
+                // xmig-lint: allow(no-wallclock) -- watchdog oracle
+                // reads host time only to bound harness runtime.
                 std::chrono::steady_clock::now() - start)
                 .count();
         if (static_cast<uint64_t>(elapsed) > config_.timeoutMs)

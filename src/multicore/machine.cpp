@@ -89,12 +89,18 @@ MigrationMachine::access(const MemRef &ref)
     ++stats_.refs;
     if (ref.isIfetch())
         ++stats_.instructions;
+    XMIG_AUDIT(stats_.instructions <= stats_.refs,
+               "instruction fetches (%llu) outran references (%llu)",
+               (unsigned long long)stats_.instructions,
+               (unsigned long long)stats_.refs);
     l1_->access(ref); // forwards post-L1 events to onLine()
 }
 
 void
 MigrationMachine::applyCoreEvents()
 {
+    XMIG_ASSERT(injector_ && controller_,
+                "core fault events with no injector or controller");
     coreEventScratch_.clear();
     injector_->drainCoreEvents(coreEventScratch_);
     for (const CoreFaultEvent &ev : coreEventScratch_) {
@@ -214,9 +220,22 @@ MigrationMachine::scrubCoherence()
                 modified_at[e.line].push_back(c);
         });
     }
-    for (auto &[line, cores] : modified_at) {
-        if (cores.size() < 2)
-            continue;
+    // Demote in ascending line order, not hash-table order: each
+    // demotion writes back to L3 and touches its LRU, so the scrub
+    // order is architecturally visible. Sorting keeps the repair
+    // sequence a pure function of cache contents across standard
+    // libraries (xmig-sentinel unordered-output).
+    std::vector<uint64_t> scrub_lines;
+    scrub_lines.reserve(modified_at.size());
+    // xmig-lint: allow(unordered-output) -- order-free: collects keys
+    // into scrub_lines, which is sorted before anything observable.
+    for (const auto &[line, cores] : modified_at) {
+        if (cores.size() >= 2)
+            scrub_lines.push_back(line);
+    }
+    std::sort(scrub_lines.begin(), scrub_lines.end());
+    for (const uint64_t line : scrub_lines) {
+        const std::vector<unsigned> &cores = modified_at[line];
         const bool active_has =
             std::find(cores.begin(), cores.end(), activeCore_) !=
             cores.end();
@@ -244,6 +263,10 @@ MigrationMachine::accessL2(uint64_t line, bool is_store,
                            CacheEntry *probe, bool probed)
 {
     ++stats_.l2Accesses;
+    XMIG_AUDIT(stats_.l2Misses < stats_.l2Accesses,
+               "L2 misses (%llu) outran accesses (%llu)",
+               (unsigned long long)stats_.l2Misses,
+               (unsigned long long)stats_.l2Accesses);
     Cache &l2 = *l2s_[activeCore_];
     AccessOutcome out = probed ? l2.accessProbed(line, is_store, probe)
                                : l2.access(line, is_store);
@@ -292,6 +315,8 @@ MigrationMachine::accessL2(uint64_t line, bool is_store,
 void
 MigrationMachine::issuePrefetches(uint64_t line, bool miss)
 {
+    XMIG_ASSERT(prefetcher_ != nullptr,
+                "prefetch issue with no prefetcher configured");
     prefetchCandidates_.clear();
     prefetcher_->onDemand(line, miss, prefetchCandidates_);
     Cache &l2 = *l2s_[activeCore_];
@@ -322,11 +347,20 @@ MigrationMachine::fetchFromL3(uint64_t line)
         ++stats_.memoryWritebacks;
     if (!out.hit)
         ++stats_.l3Misses; // fetched from memory (and filled)
+    XMIG_AUDIT(stats_.l3Misses <= stats_.l3Accesses,
+               "L3 misses (%llu) outran accesses (%llu)",
+               (unsigned long long)stats_.l3Misses,
+               (unsigned long long)stats_.l3Accesses);
 }
 
 void
 MigrationMachine::writebackToL3(uint64_t line)
 {
+    // Callers count the write-back before routing it here, so a zero
+    // counter means an unaccounted architectural event.
+    XMIG_AUDIT(stats_.l3Writebacks > 0,
+               "write-back of line %llx reached L3 uncounted",
+               (unsigned long long)line);
     if (!l3_)
         return;
     // A write-back allocates in the L3 and marks the line dirty; a
@@ -339,6 +373,13 @@ MigrationMachine::writebackToL3(uint64_t line)
 void
 MigrationMachine::broadcastStore(uint64_t line)
 {
+    // Only the active core drives the update bus, and it must be live.
+    XMIG_AUDIT(!controller_ ||
+                   (controller_->liveMask() >> activeCore_ & 1) != 0,
+               "store broadcast from dead core %u (live mask %llx)",
+               activeCore_,
+               (unsigned long long)(controller_ ? controller_->liveMask()
+                                                : 0));
     if constexpr (kFaultEnabled) {
         // A dropped broadcast loses the whole update: inactive copies
         // keep both their stale value and their stale modified bit.
@@ -452,6 +493,8 @@ MigrationMachine::countMultiModifiedLines() const
         });
     }
     uint64_t bad = 0;
+    // xmig-lint: allow(unordered-output) -- order-free: pure count,
+    // the same whatever order the table is walked in.
     for (const auto &[line, n] : modified_copies) {
         if (n > 1)
             ++bad;

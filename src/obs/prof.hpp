@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace xmig::obs {
 
 /** Accumulated timing of one named scope. */
@@ -53,9 +55,14 @@ class ProfileRegistry
      * All entries, in first-seen order. NOT synchronized: call only
      * when no scopes are live on other threads (i.e. after a sweep's
      * join) — the registry cannot hand out a stable reference under
-     * concurrent record() calls.
+     * concurrent record() calls. The analysis opt-out below encodes
+     * exactly that quiescence argument.
      */
-    const std::vector<ProfEntry> &entries() const { return entries_; }
+    const std::vector<ProfEntry> &
+    entries() const XMIG_NO_THREAD_SAFETY_ANALYSIS
+    {
+        return entries_;
+    }
 
     const ProfEntry *find(const std::string &name) const;
 
@@ -73,7 +80,8 @@ class ProfileRegistry
      * granular.
      */
     mutable std::mutex mutex_;
-    std::vector<ProfEntry> entries_; ///< small; linear lookup is fine
+    /** small; linear lookup is fine */
+    std::vector<ProfEntry> entries_ XMIG_GUARDED_BY(mutex_);
 };
 
 /**

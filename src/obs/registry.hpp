@@ -15,6 +15,12 @@
  * export. The intended pattern is one registry per run, registered
  * right after the machines are built and exported right before they
  * are destroyed (see sim/observe.hpp).
+ *
+ * Thread contract: single-thread confined. Each sweep cell builds
+ * and exports its own registry on the worker that runs it; no
+ * instance is ever shared across pool workers, so the class carries
+ * no locks or capability annotations by design (see
+ * docs/analysis.md, "Static analysis: xmig-sentinel").
  */
 
 #pragma once

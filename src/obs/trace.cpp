@@ -18,6 +18,7 @@ void
 Tracer::start(const std::string &path)
 {
     XMIG_ASSERT(!path.empty(), "trace output path must not be empty");
+    std::lock_guard<std::mutex> lock(mutex_);
     if (enabled_) {
         XMIG_WARN("tracer restarted while a session to '%s' was "
                   "active; %zu buffered events discarded",
@@ -31,18 +32,14 @@ Tracer::start(const std::string &path)
     detail::traceActive = true;
 }
 
-bool
-Tracer::admit()
-{
-    if (events_.size() < limit_)
-        return true;
-    ++dropped_;
-    return false;
-}
-
 void
-Tracer::push(std::string event_json)
+Tracer::emit(std::string event_json)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= limit_) {
+        ++dropped_;
+        return;
+    }
     events_.push_back(std::move(event_json));
 }
 
@@ -50,7 +47,7 @@ void
 Tracer::instant(const char *category, const char *name,
                 std::initializer_list<TraceArg> args)
 {
-    if (!enabled_ || !admit())
+    if (!enabled_)
         return;
     std::string e = "{\"name\":\"" + jsonEscape(name) +
                     "\",\"cat\":\"" + jsonEscape(category) +
@@ -70,16 +67,16 @@ Tracer::instant(const char *category, const char *name,
         e += "}";
     }
     e += "}";
-    push(std::move(e));
+    emit(std::move(e));
 }
 
 void
 Tracer::instant(const char *category, const char *name,
                 const char *note)
 {
-    if (!enabled_ || !admit())
+    if (!enabled_)
         return;
-    push("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
+    emit("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
          jsonEscape(category) + "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
          jsonNumber(static_cast<double>(clock_)) +
          ",\"pid\":0,\"tid\":0,\"args\":{\"note\":\"" +
@@ -89,9 +86,9 @@ Tracer::instant(const char *category, const char *name,
 void
 Tracer::counter(const char *category, const char *name, double value)
 {
-    if (!enabled_ || !admit())
+    if (!enabled_)
         return;
-    push("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
+    emit("{\"name\":\"" + jsonEscape(name) + "\",\"cat\":\"" +
          jsonEscape(category) + "\",\"ph\":\"C\",\"ts\":" +
          jsonNumber(static_cast<double>(clock_)) +
          ",\"pid\":0,\"tid\":0,\"args\":{\"value\":" +
@@ -101,9 +98,9 @@ Tracer::counter(const char *category, const char *name, double value)
 void
 Tracer::completeWall(const char *name, uint64_t ts_us, uint64_t dur_us)
 {
-    if (!enabled_ || !admit())
+    if (!enabled_)
         return;
-    push("{\"name\":\"" + jsonEscape(name) +
+    emit("{\"name\":\"" + jsonEscape(name) +
          "\",\"cat\":\"prof\",\"ph\":\"X\",\"ts\":" +
          jsonNumber(static_cast<double>(ts_us)) + ",\"dur\":" +
          jsonNumber(static_cast<double>(dur_us)) +
@@ -112,6 +109,13 @@ Tracer::completeWall(const char *name, uint64_t ts_us, uint64_t dur_us)
 
 std::string
 Tracer::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return renderJsonLocked();
+}
+
+std::string
+Tracer::renderJsonLocked() const
 {
     std::string out = "{\"traceEvents\":[\n";
     // Process labels: pid 0 is the deterministic simulated timeline,
@@ -139,7 +143,8 @@ Tracer::stop()
         return;
     enabled_ = false;
     detail::traceActive = false;
-    const std::string content = renderJson();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string content = renderJsonLocked();
     std::FILE *f = std::fopen(path_.c_str(), "w");
     if (!f) {
         XMIG_WARN("cannot open trace output '%s' for writing",

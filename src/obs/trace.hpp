@@ -26,8 +26,11 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 #ifndef XMIG_TRACE_ENABLED
 #define XMIG_TRACE_ENABLED 1
@@ -91,10 +94,20 @@ class Tracer
     void completeWall(const char *name, uint64_t ts_us, uint64_t dur_us);
 
     /** Events currently buffered. */
-    size_t events() const { return events_.size(); }
+    size_t
+    events() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return events_.size();
+    }
 
     /** Events dropped after the buffer limit was reached. */
-    uint64_t dropped() const { return dropped_; }
+    uint64_t
+    dropped() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dropped_;
+    }
 
     /** Cap on buffered events (default 1M). */
     void setLimit(size_t max_events) { limit_ = max_events; }
@@ -104,15 +117,26 @@ class Tracer
     std::string renderJson() const;
 
   private:
-    bool admit();
-    void push(std::string event_json);
+    /** Buffer one pre-rendered event, or count it as dropped once
+     *  the limit is reached. The only write path into events_. */
+    void emit(std::string event_json) XMIG_EXCLUDES(mutex_);
 
+    std::string renderJsonLocked() const XMIG_REQUIRES(mutex_);
+
+    // Session state (enabled_/path_/clock_/limit_) is owned by the
+    // simulation thread that runs start()/stop(): sessions never
+    // overlap a sweep (--trace-out forces --jobs 1, sim/options),
+    // so only the event *buffer* below needs a lock — profiling
+    // scopes may close on pool workers while a session is active.
     bool enabled_ = false;
     std::string path_;
     uint64_t clock_ = 0;
-    std::vector<std::string> events_; ///< pre-rendered JSON objects
     size_t limit_ = 1'000'000;
-    uint64_t dropped_ = 0;
+
+    mutable std::mutex mutex_;
+    /** pre-rendered JSON objects */
+    std::vector<std::string> events_ XMIG_GUARDED_BY(mutex_);
+    uint64_t dropped_ XMIG_GUARDED_BY(mutex_) = 0;
 };
 
 /** The process-wide tracer the XMIG_TRACE macros talk to. */

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "util/contracts.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace xmig {
 
@@ -16,7 +17,7 @@ namespace {
 struct WorkerQueue
 {
     std::mutex mutex;
-    std::deque<size_t> jobs;
+    std::deque<size_t> jobs XMIG_GUARDED_BY(mutex);
 
     bool
     popFront(size_t *out)
@@ -38,6 +39,16 @@ struct WorkerQueue
         *out = jobs.back();
         jobs.pop_back();
         return true;
+    }
+
+    /** Submit-time seeding; runs before the workers exist, but takes
+     *  the lock anyway so the annotated invariant holds everywhere
+     *  (one uncontended lock per job is submit-path noise). */
+    void
+    seed(size_t job)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        jobs.push_back(job);
     }
 };
 
@@ -80,7 +91,7 @@ JobPool::run(size_t n, const std::function<void(size_t)> &fn) const
     // Deterministic, and spreads the (often monotone-cost) cell list
     // so no worker begins with all the expensive ones.
     for (size_t i = 0; i < n; ++i)
-        queues[i % workers]->jobs.push_back(i);
+        queues[i % workers]->seed(i);
 
     // One slot per *job*: failures are reported by job index, so the
     // rethrown exception is schedule-independent.

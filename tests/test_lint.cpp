@@ -1,0 +1,433 @@
+/**
+ * @file
+ * xmig-sentinel linter tests: one positive and one negative fixture
+ * per rule, the suppression grammar (including wrapped
+ * justifications and malformed comments), the baseline round-trip,
+ * and the report renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../tools/xmig_lint/lint.hpp"
+
+using namespace xmig::lint;
+
+namespace {
+
+/** Rules triggered in `content` at `path`, as a sorted list. */
+std::vector<std::string>
+rulesIn(const std::string &path, const std::string &content)
+{
+    std::vector<std::string> rules;
+    for (const Finding &f : lintFile(path, content))
+        rules.push_back(f.rule);
+    std::sort(rules.begin(), rules.end());
+    return rules;
+}
+
+bool
+hasRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const Finding &f) { return f.rule == rule; });
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// no-wallclock
+// ---------------------------------------------------------------------------
+
+TEST(NoWallclock, FlagsChronoClockTypes)
+{
+    const std::string src = "void f() {\n"
+                            "  auto t = std::chrono::steady_clock::now();\n"
+                            "}\n";
+    const auto rules = rulesIn("src/core/f.cpp", src);
+    ASSERT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0], "no-wallclock");
+}
+
+TEST(NoWallclock, FlagsCallPositionOnly)
+{
+    // `return clock();` is a call; `uint64_t clock() const;` is a
+    // declaration and `tr.clock()` a member access — both fine.
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "uint64_t g() { return clock(); }\n"),
+              std::vector<std::string>{"no-wallclock"});
+    EXPECT_TRUE(rulesIn("src/core/f.hpp",
+                        "struct T { uint64_t clock() const; };\n")
+                    .empty());
+    EXPECT_TRUE(rulesIn("src/core/f.cpp",
+                        "uint64_t g(Tracer &tr) { return tr.clock(); }\n")
+                    .empty());
+    EXPECT_TRUE(rulesIn("src/core/f.cpp",
+                        "uint64_t Tracer::clock() { return c_; }\n")
+                    .empty());
+}
+
+TEST(NoWallclock, FlagsRandomnessAndTimeIncludes)
+{
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "int g() { std::random_device rd; return 0; }\n"),
+              std::vector<std::string>{"no-wallclock"});
+    EXPECT_EQ(rulesIn("src/core/f.cpp", "#include <ctime>\n"),
+              std::vector<std::string>{"no-wallclock"});
+    EXPECT_TRUE(rulesIn("src/core/f.cpp", "#include <vector>\n").empty());
+}
+
+TEST(NoWallclock, ProfilingSubsystemIsExempt)
+{
+    const std::string src = "void f() {\n"
+                            "  auto t = std::chrono::steady_clock::now();\n"
+                            "}\n";
+    EXPECT_TRUE(rulesIn("src/obs/prof.cpp", src).empty());
+    EXPECT_TRUE(rulesIn("src/obs/prof.hpp", src).empty());
+    // ...but the rest of obs/ is not.
+    EXPECT_FALSE(rulesIn("src/obs/trace.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-output
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char kUnorderedLoop[] =
+    "void dump(const std::unordered_map<int, int> &table) {\n"
+    "  for (const auto &[k, v] : table) {\n"
+    "    use(k, v);\n"
+    "  }\n"
+    "}\n";
+
+} // namespace
+
+TEST(UnorderedOutput, FlagsRangeForInOutputTu)
+{
+    const std::string src = std::string(kUnorderedLoop) +
+                            "void save() { std::ofstream out(\"x\"); }\n";
+    EXPECT_EQ(rulesIn("src/obs/export.cpp", src),
+              std::vector<std::string>{"unordered-output"});
+}
+
+TEST(UnorderedOutput, SilentWithoutOutputMarkers)
+{
+    // Same loop, but the TU never writes CSV/JSONL/trace output.
+    EXPECT_TRUE(rulesIn("src/obs/export.cpp", kUnorderedLoop).empty());
+}
+
+TEST(UnorderedOutput, OrderedContainersAreFine)
+{
+    const std::string src =
+        "void dump(const std::map<int, int> &table) {\n"
+        "  std::ofstream out(\"x\");\n"
+        "  for (const auto &[k, v] : table) use(k, v);\n"
+        "}\n";
+    EXPECT_TRUE(rulesIn("src/obs/export.cpp", src).empty());
+}
+
+TEST(UnorderedOutput, MemberDeclaredInHeaderIteratedInCpp)
+{
+    // The two-pass design: the member's unordered type is only
+    // visible in the header, the loop and the output marker only in
+    // the .cpp.
+    const std::string hpp =
+        "struct Registry { std::unordered_map<int, int> table_; };\n";
+    const std::string cpp =
+        "void Registry::dump() {\n"
+        "  std::ofstream out(\"x\");\n"
+        "  for (auto it = table_.begin(); it != table_.end(); ++it)\n"
+        "    use(*it);\n"
+        "}\n";
+    const auto findings = lintFiles(
+        {{"src/obs/registry.hpp", hpp}, {"src/obs/registry.cpp", cpp}});
+    ASSERT_TRUE(hasRule(findings, "unordered-output"));
+    EXPECT_EQ(findings[0].file, "src/obs/registry.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// pointer-order
+// ---------------------------------------------------------------------------
+
+TEST(PointerOrder, FlagsPointerKeyedContainersAndCasts)
+{
+    EXPECT_EQ(rulesIn("src/core/f.cpp", "std::map<Node *, int> idx;\n"),
+              std::vector<std::string>{"pointer-order"});
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "size_t h = std::hash<Node *>{}(n);\n"),
+              std::vector<std::string>{"pointer-order"});
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "auto v = reinterpret_cast<uintptr_t>(p);\n"),
+              std::vector<std::string>{"pointer-order"});
+}
+
+TEST(PointerOrder, ValueKeysAreFine)
+{
+    EXPECT_TRUE(
+        rulesIn("src/core/f.cpp", "std::map<uint64_t, int> idx;\n")
+            .empty());
+    EXPECT_TRUE(
+        rulesIn("src/core/f.cpp", "std::set<std::string> names;\n")
+            .empty());
+}
+
+// ---------------------------------------------------------------------------
+// naked-mutex
+// ---------------------------------------------------------------------------
+
+TEST(NakedMutex, FlagsUnannotatedMutexMember)
+{
+    const std::string src = "class Pool {\n"
+                            "  std::mutex mutex_;\n"
+                            "  int jobs_ = 0;\n"
+                            "};\n";
+    EXPECT_EQ(rulesIn("src/sim/pool.hpp", src),
+              std::vector<std::string>{"naked-mutex"});
+}
+
+TEST(NakedMutex, CapabilityAnnotationSatisfiesTheRule)
+{
+    const std::string src = "class Pool {\n"
+                            "  std::mutex mutex_;\n"
+                            "  int jobs_ XMIG_GUARDED_BY(mutex_) = 0;\n"
+                            "};\n";
+    EXPECT_TRUE(rulesIn("src/sim/pool.hpp", src).empty());
+}
+
+TEST(NakedMutex, LockGuardTemplateArgumentIsNotADeclaration)
+{
+    EXPECT_TRUE(rulesIn("src/sim/pool.cpp",
+                        "void f(std::mutex &m) {\n"
+                        "  std::lock_guard<std::mutex> lock(m);\n"
+                        "}\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// contract-coverage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+longMethod(const std::string &qualifier, const std::string &firstStmt)
+{
+    return "void\n"
+           "Widget::update(int v)" + qualifier + "\n"
+           "{\n"
+           "    " + firstStmt + "\n"
+           "    a_ = v;\n"
+           "    b_ = v + 1;\n"
+           "    c_ = v + 2;\n"
+           "    d_ = v + 3;\n"
+           "    e_ = v + 4;\n"
+           "    f_ = v + 5;\n"
+           "}\n";
+}
+
+} // namespace
+
+TEST(ContractCoverage, FlagsNonTrivialMutatorWithoutContract)
+{
+    const std::string src = longMethod("", "g_ = v;");
+    EXPECT_EQ(rulesIn("src/core/widget.cpp", src),
+              std::vector<std::string>{"contract-coverage"});
+    // Same file outside the scoped trees: not this rule's business.
+    EXPECT_TRUE(rulesIn("src/obs/widget.cpp", src).empty());
+    EXPECT_TRUE(rulesIn("src/core/widget.hpp", src).empty());
+}
+
+TEST(ContractCoverage, ContractSitesSatisfyTheRule)
+{
+    EXPECT_TRUE(rulesIn("src/core/widget.cpp",
+                        longMethod("", "XMIG_AUDIT(v >= 0, \"v\");"))
+                    .empty());
+    // Calls into audit helpers carry the contract for their caller.
+    EXPECT_TRUE(rulesIn("src/core/widget.cpp",
+                        longMethod("", "auditConsistency();"))
+                    .empty());
+}
+
+TEST(ContractCoverage, ConstAndTrivialMethodsAreExempt)
+{
+    EXPECT_TRUE(rulesIn("src/core/widget.cpp",
+                        longMethod(" const", "g_ = v;"))
+                    .empty());
+    EXPECT_TRUE(rulesIn("src/core/widget.cpp",
+                        "void Widget::set(int v) { a_ = v; }\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(Suppression, AllowOnPrecedingLineSilencesTheFinding)
+{
+    const std::string src =
+        "// xmig-lint: allow(no-wallclock) -- watchdog, host-only\n"
+        "uint64_t g() { return clock(); }\n";
+    EXPECT_TRUE(rulesIn("src/core/f.cpp", src).empty());
+}
+
+TEST(Suppression, WrappedJustificationStillReachesTheCode)
+{
+    // The justification spills onto a second comment line; the
+    // suppression must still reach the first code line after the run.
+    const std::string src =
+        "// xmig-lint: allow(no-wallclock) -- watchdog oracle:\n"
+        "// host time bounds the harness, never a sim result.\n"
+        "uint64_t g() { return clock(); }\n";
+    EXPECT_TRUE(rulesIn("src/core/f.cpp", src).empty());
+}
+
+TEST(Suppression, DoesNotLeakPastItsSite)
+{
+    const std::string src =
+        "// xmig-lint: allow(no-wallclock) -- first site only\n"
+        "uint64_t g() { return clock(); }\n"
+        "\n"
+        "uint64_t h() { return clock(); }\n";
+    const auto findings = lintFile("src/core/f.cpp", src);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(Suppression, OnlyNamedRulesAreSilenced)
+{
+    const std::string src =
+        "// xmig-lint: allow(pointer-order) -- wrong rule\n"
+        "uint64_t g() { return clock(); }\n";
+    EXPECT_EQ(rulesIn("src/core/f.cpp", src),
+              std::vector<std::string>{"no-wallclock"});
+}
+
+TEST(Suppression, MalformedCommentsAreFindings)
+{
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "// xmig-lint: allow(no-wallclock)\n"
+                      "int x = 0;\n"),
+              std::vector<std::string>{"bad-suppression"});
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "// xmig-lint: allow(no-such-rule) -- why\n"
+                      "int x = 0;\n"),
+              std::vector<std::string>{"bad-suppression"});
+    EXPECT_EQ(rulesIn("src/core/f.cpp",
+                      "// xmig-lint: see the docs\n"
+                      "int x = 0;\n"),
+              std::vector<std::string>{"bad-suppression"});
+}
+
+// ---------------------------------------------------------------------------
+// Baseline round-trip
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, RoundTripAbsolvesExactlyTheRecordedFindings)
+{
+    const std::string src = "uint64_t g() { return clock(); }\n"
+                            "std::map<Node *, int> idx;\n";
+    const auto findings = lintFile("src/core/f.cpp", src);
+    ASSERT_EQ(findings.size(), 2u);
+
+    const std::string doc = renderBaseline(findings);
+    const auto baseline = parseBaseline(doc);
+    EXPECT_EQ(baseline.size(), 2u);
+
+    auto [fresh, grandfathered] =
+        partitionAgainstBaseline(findings, baseline);
+    EXPECT_TRUE(fresh.empty());
+    EXPECT_EQ(grandfathered.size(), 2u);
+}
+
+TEST(Baseline, NewFindingsSurviveThePartition)
+{
+    const auto oldFindings =
+        lintFile("src/core/f.cpp", "uint64_t g() { return clock(); }\n");
+    const auto baseline = parseBaseline(renderBaseline(oldFindings));
+
+    const auto now = lintFile("src/core/f.cpp",
+                              "uint64_t g() { return clock(); }\n"
+                              "std::map<Node *, int> idx;\n");
+    auto [fresh, grandfathered] = partitionAgainstBaseline(now, baseline);
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(fresh[0].rule, "pointer-order");
+    EXPECT_EQ(grandfathered.size(), 1u);
+}
+
+TEST(Baseline, KeysAreLineNumberInsensitive)
+{
+    const auto before =
+        lintFile("src/core/f.cpp", "uint64_t g() { return clock(); }\n");
+    const auto baseline = parseBaseline(renderBaseline(before));
+    // The same source line drifts 3 lines down; the key still holds.
+    const auto after = lintFile("src/core/f.cpp",
+                                "\n\n\n"
+                                "uint64_t g() { return clock(); }\n");
+    auto [fresh, grandfathered] =
+        partitionAgainstBaseline(after, baseline);
+    EXPECT_TRUE(fresh.empty());
+    EXPECT_EQ(grandfathered.size(), 1u);
+}
+
+TEST(Baseline, EachEntryAbsolvesAtMostOneFinding)
+{
+    const auto one =
+        lintFile("src/core/f.cpp", "uint64_t g() { return clock(); }\n");
+    const auto baseline = parseBaseline(renderBaseline(one));
+    // Two identical lines now produce two identical keys; the single
+    // baseline entry must absolve only one of them.
+    const auto two = lintFile("src/core/f.cpp",
+                              "uint64_t g() { return clock(); }\n"
+                              "uint64_t g() { return clock(); }\n");
+    auto [fresh, grandfathered] = partitionAgainstBaseline(two, baseline);
+    EXPECT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(grandfathered.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers and compile_commands
+// ---------------------------------------------------------------------------
+
+TEST(Render, TextJsonAndSarifNameTheFinding)
+{
+    const auto findings =
+        lintFile("src/core/f.cpp", "uint64_t g() { return clock(); }\n");
+    ASSERT_EQ(findings.size(), 1u);
+
+    const std::string text = renderText(findings);
+    EXPECT_NE(text.find("src/core/f.cpp:1: no-wallclock:"),
+              std::string::npos);
+
+    const std::string json = renderJson(findings);
+    EXPECT_NE(json.find("\"rule\""), std::string::npos);
+    EXPECT_NE(json.find("no-wallclock"), std::string::npos);
+
+    const std::string sarif = renderSarif(findings);
+    EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("no-wallclock"), std::string::npos);
+    EXPECT_NE(sarif.find("src/core/f.cpp"), std::string::npos);
+}
+
+TEST(CompileCommands, ExtractsFileEntries)
+{
+    const std::string doc =
+        "[\n"
+        "  {\"directory\": \"/b\", \"command\": \"c++ -c a.cpp\",\n"
+        "   \"file\": \"/repo/src/a.cpp\"},\n"
+        "  {\"directory\": \"/b\", \"command\": \"c++ -c b.cpp\",\n"
+        "   \"file\": \"/repo/src/b.cpp\"}\n"
+        "]\n";
+    const auto files = filesFromCompileCommands(doc);
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], "/repo/src/a.cpp");
+    EXPECT_EQ(files[1], "/repo/src/b.cpp");
+}
+
+TEST(Rules, CatalogueIsClosed)
+{
+    for (const std::string &r : allRules())
+        EXPECT_TRUE(knownRule(r));
+    EXPECT_FALSE(knownRule("no-such-rule"));
+}
