@@ -235,15 +235,25 @@ main(int argc, char **argv)
     }
     if (!json_path.empty()) {
         if (FILE *f = std::fopen(json_path.c_str(), "w")) {
+            // Host metadata: wall-clock and ns/ref numbers only
+            // compare within one (core count, compiler) environment,
+            // so xmig_report --diff refuses cross-host gates.
             std::fprintf(f,
                          "{\n"
                          "  \"bench\": \"xmig-swift\",\n"
                          "  \"host_cores\": %u,\n"
+                         "  \"compiler\": \"%s\",\n"
                          "  \"sweep_cells\": %zu,\n"
                          "  \"instructions_per_cell\": %llu,\n"
                          "  \"output_identical_across_jobs\": %s,\n"
                          "  \"sweep_wall_s\": {",
-                         cores, kBenches.size(),
+                         cores,
+#if defined(__VERSION__)
+                         "" __VERSION__,
+#else
+                         "unknown",
+#endif
+                         kBenches.size(),
                          (unsigned long long)instr,
                          all_identical ? "true" : "false");
             for (size_t i = 0; i < sweep_times.size(); ++i)

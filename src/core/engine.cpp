@@ -4,6 +4,7 @@
 
 #include "core/shadow_audit.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/journal.hpp"
 #include "util/contracts.hpp"
 
 namespace xmig {
@@ -257,8 +258,16 @@ AffinityEngine::injectSoftErrors(RefOutcome &out)
 void
 AffinityEngine::disarmShadow(const char *reason)
 {
-    if (shadow_)
+    XMIG_ASSERT(reason != nullptr && *reason != '\0',
+                "shadow disarm needs a stated reason");
+    if (shadow_) {
+        if (shadow_->armed()) {
+            XMIG_JOURNAL(journal_, obs::JournalKind::ShadowDisarm,
+                         obs::JournalCause::Explicit,
+                         static_cast<int64_t>(references_));
+        }
         shadow_->disarm(reason);
+    }
 }
 
 EngineCheckpoint

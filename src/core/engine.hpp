@@ -28,6 +28,7 @@
 #include "util/saturating.hpp"
 
 namespace xmig::obs {
+class Journal;
 class MetricsRegistry;
 } // namespace xmig::obs
 
@@ -165,6 +166,13 @@ class AffinityEngine
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /**
+     * Attach the xmig-lens causal journal (non-owning; may be null).
+     * The engine records rare-path events only — external shadow
+     * disarms — so an attached journal costs nothing per reference.
+     */
+    void attachJournal(obs::Journal *journal) { journal_ = journal; }
+
   private:
     int64_t saturate(int64_t v) const;
 
@@ -182,6 +190,7 @@ class AffinityEngine
     std::unique_ptr<FifoWindow> fifo_;
     std::unique_ptr<DistinctLruWindow> lru_;
     std::unique_ptr<ShadowAudit> shadow_;
+    obs::Journal *journal_ = nullptr; ///< xmig-lens hook (may be null)
     uint64_t references_ = 0;
 };
 

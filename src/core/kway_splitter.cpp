@@ -1,5 +1,6 @@
 #include "core/kway_splitter.hpp"
 
+#include "obs/journal.hpp"
 #include "util/hashing.hpp"
 #include "util/contracts.hpp"
 
@@ -82,10 +83,16 @@ KWaySplitter::onReference(uint64_t line, bool update_filter)
         // node (Y[sign(F_X)]).
         const unsigned level =
             (h + config_.depth - 1) % config_.depth;
-        Node &node = nodes_[nodeOnPath(level)];
+        const size_t idx = nodeOnPath(level);
+        Node &node = nodes_[idx];
         out.ae = node.engine->reference(line).ae;
-        if (update_filter)
-            node.filter->update(out.ae);
+        if (update_filter && node.filter->update(out.ae)) {
+            XMIG_JOURNAL(journal_, obs::JournalKind::NodeFlip,
+                         obs::JournalCause::Threshold,
+                         static_cast<int64_t>(idx),
+                         static_cast<int64_t>(level),
+                         node.filter->value());
+        }
     }
 
     out.subset = subset();
@@ -95,6 +102,14 @@ KWaySplitter::onReference(uint64_t line, bool update_filter)
     if (out.transition)
         ++transitions_;
     return out;
+}
+
+void
+KWaySplitter::attachJournal(obs::Journal *journal)
+{
+    journal_ = journal;
+    for (Node &node : nodes_)
+        node.engine->attachJournal(journal);
 }
 
 void

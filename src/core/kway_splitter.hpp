@@ -99,6 +99,13 @@ class KWaySplitter
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /**
+     * Attach the xmig-lens journal (may be null): forwarded to every
+     * node's engine, and used by onReference to record node filter
+     * flips (JournalKind::NodeFlip) on the rare transition branch.
+     */
+    void attachJournal(obs::Journal *journal);
+
   private:
     /** One tree node: a 2-way mechanism. */
     struct Node
@@ -117,6 +124,7 @@ class KWaySplitter
     Config config_;
     std::vector<Node> nodes_; ///< heap-ordered complete binary tree
     uint64_t transitions_ = 0;
+    obs::Journal *journal_ = nullptr; ///< xmig-lens hook (may be null)
 };
 
 } // namespace xmig

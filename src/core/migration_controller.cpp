@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "fault/fault_injector.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/logging.hpp"
@@ -89,6 +90,47 @@ MigrationController::buildSplitter(unsigned ways)
         sc.faults = config_.faults;
         kway_ = std::make_unique<KWaySplitter>(sc, *store_);
     }
+    // Keep the causal journal attached across resplits/restores.
+    if (journal_ != nullptr) {
+        if (two_)
+            two_->attachJournal(journal_);
+        else if (four_)
+            four_->attachJournal(journal_);
+        else if (kway_)
+            kway_->attachJournal(journal_);
+    }
+}
+
+void
+MigrationController::attachJournal(obs::Journal *journal)
+{
+    // Exactly one splitter flavor is live (or none before the first
+    // buildSplitter); re-attachment after a resplit relies on that.
+    XMIG_ASSERT((two_ != nullptr) + (four_ != nullptr) +
+                        (kway_ != nullptr) <= 1,
+                "more than one splitter flavor is live");
+    journal_ = journal;
+    if (two_)
+        two_->attachJournal(journal);
+    else if (four_)
+        four_->attachJournal(journal);
+    else if (kway_)
+        kway_->attachJournal(journal);
+    watchdog_.attachJournal(journal);
+    if (config_.faults != nullptr)
+        config_.faults->attachJournal(journal);
+}
+
+int64_t
+MigrationController::rootArForJournal() const
+{
+    return splitWays_ > 1 ? rootEngine().windowAffinity() : 0;
+}
+
+int64_t
+MigrationController::rootFilterForJournal() const
+{
+    return splitWays_ > 1 ? rootFilter().value() : 0;
 }
 
 void
@@ -139,8 +181,16 @@ MigrationController::applyTopology()
         if (ways > 1)
             buildSplitter(ways);
         ++recovery_.resplits;
+        const uint64_t gap = stats_.requests - lastResplitAt_;
+        resplitGap_.record(gap);
+        lastResplitAt_ = stats_.requests;
         XMIG_TRACE("fault", "resplit",
                    {{"ways", ways}, {"live_cores", live}});
+        XMIG_JOURNAL(journal_, obs::JournalKind::Resplit,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(ways),
+                     static_cast<int64_t>(liveMask_),
+                     static_cast<int64_t>(gap));
     }
     recomputeMapping();
     XMIG_AUDIT(std::has_single_bit(splitWays_) && splitWays_ <= live,
@@ -184,6 +234,10 @@ MigrationController::setCoreOffline(unsigned core)
             static_cast<unsigned>(std::countr_zero(liveMask_));
         XMIG_TRACE("fault", "forced_migration",
                    {{"from", core}, {"to", refuge}});
+        XMIG_JOURNAL(journal_, obs::JournalKind::ForcedMigration,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(core),
+                     static_cast<int64_t>(refuge));
         activeCore_ = refuge;
         ++stats_.migrations;
         ++recovery_.forcedMigrations;
@@ -270,7 +324,8 @@ MigrationController::serviceMigrationFabric(uint64_t now)
         const unsigned target = pendingTarget_;
         pendingValid_ = false;
         if (liveMask_ >> target & 1)
-            completeMigration(target, now);
+            completeMigration(target, now,
+                              obs::JournalCause::FabricDelivery);
         return;
     }
     if (now - pendingIssued_ >= config_.retry.timeoutRequests) {
@@ -284,6 +339,10 @@ MigrationController::serviceMigrationFabric(uint64_t now)
         XMIG_TRACE("fault", "migration_timeout",
                    {{"target", pendingTarget_},
                     {"backoff", backoff_}});
+        XMIG_JOURNAL(journal_, obs::JournalKind::MigrationTimeout,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(pendingTarget_),
+                     static_cast<int64_t>(backoff_));
     }
 }
 
@@ -292,8 +351,13 @@ MigrationController::requestMigration(unsigned target, uint64_t now)
 {
     XMIG_ASSERT(target < config_.numCores,
                 "migration request to nonexistent core %u", target);
-    if (watchdog_.enabled() && !watchdog_.migrationAllowed(now))
+    if (watchdog_.enabled() && !watchdog_.migrationAllowed(now)) {
+        XMIG_JOURNAL(journal_, obs::JournalKind::MigrationVeto,
+                     obs::JournalCause::WatchdogVeto,
+                     static_cast<int64_t>(target), rootArForJournal(),
+                     rootFilterForJournal());
         return;
+    }
 
     bool fabric_faulty = false;
     if constexpr (kFaultEnabled) {
@@ -303,7 +367,7 @@ MigrationController::requestMigration(unsigned target, uint64_t now)
     }
     if (!fabric_faulty) {
         // Ideal fabric: the classic instantaneous migration.
-        completeMigration(target, now);
+        completeMigration(target, now, obs::JournalCause::Threshold);
         return;
     }
 
@@ -317,6 +381,10 @@ MigrationController::requestMigration(unsigned target, uint64_t now)
     if (retryPending_) {
         ++recovery_.migRetries;
         retryPending_ = false;
+        XMIG_JOURNAL(journal_, obs::JournalKind::MigrationRetry,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(target),
+                     static_cast<int64_t>(recovery_.migRetries));
     }
 
     FaultInjector &fi = *config_.faults;
@@ -327,6 +395,9 @@ MigrationController::requestMigration(unsigned target, uint64_t now)
         pendingIssued_ = now;
         pendingDue_ = UINT64_MAX;
         ++recovery_.migDropped;
+        XMIG_JOURNAL(journal_, obs::JournalKind::MigrationDrop,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(target));
         return;
     }
     if (fi.armedFor(FaultSite::MigDelay) &&
@@ -336,13 +407,18 @@ MigrationController::requestMigration(unsigned target, uint64_t now)
         pendingIssued_ = now;
         pendingDue_ = now + fi.migrationDelay();
         ++recovery_.migDelayed;
+        XMIG_JOURNAL(journal_, obs::JournalKind::MigrationDelay,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(target),
+                     static_cast<int64_t>(pendingDue_ - now));
         return;
     }
-    completeMigration(target, now);
+    completeMigration(target, now, obs::JournalCause::Threshold);
 }
 
 void
-MigrationController::completeMigration(unsigned target, uint64_t now)
+MigrationController::completeMigration(unsigned target, uint64_t now,
+                                       obs::JournalCause cause)
 {
     XMIG_ASSERT(liveMask_ >> target & 1,
                 "migration to offline core %u", target);
@@ -351,6 +427,11 @@ MigrationController::completeMigration(unsigned target, uint64_t now)
                {{"from", activeCore_},
                 {"to", target},
                 {"n", stats_.migrations}});
+    XMIG_JOURNAL(journal_, obs::JournalKind::Migration, cause,
+                 static_cast<int64_t>(activeCore_),
+                 static_cast<int64_t>(target),
+                 static_cast<int64_t>(stats_.migrations),
+                 rootArForJournal(), rootFilterForJournal());
     activeCore_ = target;
     pendingValid_ = false;
     backoff_ = config_.retry.backoffBase;
@@ -388,8 +469,13 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
 
     if (decision.sampled && update_filter)
         ++stats_.filterUpdates;
-    if (decision.transition)
+    if (decision.transition) {
         ++stats_.transitions;
+        XMIG_JOURNAL(journal_, obs::JournalKind::Transition,
+                     obs::JournalCause::Threshold,
+                     static_cast<int64_t>(decision.subset), decision.ae,
+                     rootFilterForJournal(), rootArForJournal());
+    }
 
     // Controller state-transition invariants: the splitter may only
     // name a real subset, and the subset can only move when the
@@ -407,6 +493,9 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
             resetFilters();
             ++recovery_.filterReinits;
             XMIG_TRACE("fault", "filter_reinit", {{"at", now}});
+            XMIG_JOURNAL(journal_, obs::JournalKind::FilterReinit,
+                         obs::JournalCause::WatchdogReinit,
+                         static_cast<int64_t>(now));
         }
     }
 
@@ -528,6 +617,9 @@ MigrationController::resetFilters()
 ControllerCheckpoint
 MigrationController::checkpoint() const
 {
+    XMIG_JOURNAL(journal_, obs::JournalKind::Checkpoint,
+                 obs::JournalCause::Explicit,
+                 static_cast<int64_t>(stats_.requests));
     ControllerCheckpoint c;
     c.numCores = config_.numCores;
     c.splitWays = splitWays_;
@@ -556,6 +648,9 @@ MigrationController::restore(const ControllerCheckpoint &ckpt)
     activeCore_ = ckpt.activeCore;
     stats_ = ckpt.stats;
     recovery_ = ckpt.recovery;
+    XMIG_JOURNAL(journal_, obs::JournalKind::Restore,
+                 obs::JournalCause::Explicit,
+                 static_cast<int64_t>(stats_.requests));
 
     // Quiesce the fabric and the backoff machinery.
     pendingValid_ = false;

@@ -45,6 +45,8 @@
 #include "core/oe_store.hpp"
 #include "core/splitter.hpp"
 #include "fault/watchdog.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
 
 namespace xmig {
 
@@ -264,6 +266,21 @@ class MigrationController
     /** Zero every transition filter (watchdog re-init path). */
     void resetFilters();
 
+    /**
+     * Attach the xmig-lens causal journal (non-owning; null detaches).
+     * Propagated to the live splitter's engines, the watchdog, and the
+     * armed fault injector, and re-propagated across resplits and
+     * restores. All emission sites are rare paths behind the
+     * XMIG_JOURNAL macro, so attachment costs nothing per request.
+     */
+    void attachJournal(obs::Journal *journal);
+
+    /** Requests between consecutive splitter rebuilds (xmig-lens). */
+    const obs::Histogram &resplitGapHistogram() const
+    {
+        return resplitGap_;
+    }
+
     /** Capture the control-plane state (crash-recovery support). */
     ControllerCheckpoint checkpoint() const;
 
@@ -287,7 +304,11 @@ class MigrationController
     void disarmRootShadow(const char *reason);
     void serviceMigrationFabric(uint64_t now);
     void requestMigration(unsigned target, uint64_t now);
-    void completeMigration(unsigned target, uint64_t now);
+    void completeMigration(unsigned target, uint64_t now,
+                           obs::JournalCause cause);
+    /** A_R / root-filter values for journal payloads (0 if no root). */
+    int64_t rootArForJournal() const;
+    int64_t rootFilterForJournal() const;
 
     MigrationControllerConfig config_;
     std::unique_ptr<OeStore> store_;
@@ -307,6 +328,11 @@ class MigrationController
      *  transitions==splitterTransitions() audit exact across
      *  resplits and restores. */
     uint64_t transitionsBase_ = 0;
+
+    // xmig-lens: causal journal hook and resplit-cadence distribution.
+    obs::Journal *journal_ = nullptr;
+    obs::Histogram resplitGap_;
+    uint64_t lastResplitAt_ = 0; ///< stats_.requests at the last resplit
 
     // Retired splitters/stores: registered metric gauges hold
     // references into them, so a resplit parks rather than frees.

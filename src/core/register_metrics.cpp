@@ -140,6 +140,7 @@ MigrationController::registerMetrics(obs::MetricsRegistry &registry,
     registry.addCounter(rp + ".mig_retries", &recovery_.migRetries);
     registry.addCounter(rp + ".filter_reinits",
                         &recovery_.filterReinits);
+    registry.addHistogram(rp + ".resplit_gap_requests", &resplitGap_);
     registry.addGauge(rp + ".live_cores", [this] {
         return static_cast<double>(liveCores());
     });

@@ -101,6 +101,12 @@ class TwoWaySplitter
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /** Attach the xmig-lens journal to the mechanism (may be null). */
+    void attachJournal(obs::Journal *journal)
+    {
+        engine_.attachJournal(journal);
+    }
+
   private:
     Config config_;
     AffinityEngine engine_;
@@ -172,6 +178,14 @@ class FourWaySplitter
     /** Register every mechanism (X, Y[+1], Y[-1]) under `prefix`. */
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
+
+    /** Attach the xmig-lens journal to all three mechanisms. */
+    void attachJournal(obs::Journal *journal)
+    {
+        engineX_.attachJournal(journal);
+        engineYPos_.attachJournal(journal);
+        engineYNeg_.attachJournal(journal);
+    }
 
   private:
     AffinityEngine &engineY(int side_x);

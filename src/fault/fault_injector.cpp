@@ -1,5 +1,6 @@
 #include "fault/fault_injector.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 #include "util/contracts.hpp"
 
@@ -112,6 +113,13 @@ void
 FaultInjector::count(FaultSite site)
 {
     ++stats_.injected[static_cast<size_t>(site)];
+    // count() is the single funnel every successful injection passes
+    // through (scheduled latches, rate draws and core churn alike),
+    // so it is the one causal emission point for the lens.
+    XMIG_JOURNAL(journal_, obs::JournalKind::FaultInject,
+                 obs::JournalCause::PlanEvent,
+                 static_cast<int64_t>(site),
+                 static_cast<int64_t>(stats_.ticks));
 }
 
 void

@@ -45,6 +45,7 @@
 #endif
 
 namespace xmig::obs {
+class Journal;
 class MetricsRegistry;
 } // namespace xmig::obs
 
@@ -140,12 +141,20 @@ class FaultInjector
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /**
+     * Attach the xmig-lens journal (non-owning; may be null). Every
+     * successful injection records a FaultInject event carrying the
+     * site and the tick at which it fired.
+     */
+    void attachJournal(obs::Journal *journal) { journal_ = journal; }
+
   private:
     void count(FaultSite site);
 
     FaultPlan plan_;
     Rng rng_;
     FaultStats stats_;
+    obs::Journal *journal_ = nullptr; ///< xmig-lens hook (may be null)
     bool armed_[static_cast<size_t>(FaultSite::kCount)] = {};
     bool due_[static_cast<size_t>(FaultSite::kCount)] = {};
     bool coreRules_ = false;

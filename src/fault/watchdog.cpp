@@ -1,5 +1,6 @@
 #include "fault/watchdog.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/registry.hpp"
 #include "util/contracts.hpp"
 
@@ -67,6 +68,13 @@ Watchdog::onMigration(uint64_t now)
     if (++windowMigrations_ > config_.pingPongLimit) {
         // Livelock: back off, doubling the cooldown on repeat trips.
         ++stats_.livelocks;
+        XMIG_JOURNAL(journal_, obs::JournalKind::WatchdogTrip,
+                     obs::JournalCause::Livelock,
+                     static_cast<int64_t>(windowMigrations_),
+                     static_cast<int64_t>(cooldown_));
+        // Watchdog fire = incident: preserve the causal history that
+        // led into the livelock even if the run never finishes.
+        XMIG_JOURNAL_INCIDENT(journal_, "watchdog livelock trip");
         lastTrip_ = now;
         cooldownUntil_ = now + cooldown_;
         cooldown_ = cooldown_ < config_.cooldownCap / 2

@@ -36,6 +36,7 @@
 #include <string>
 
 namespace xmig::obs {
+class Journal;
 class MetricsRegistry;
 } // namespace xmig::obs
 
@@ -103,9 +104,17 @@ class Watchdog
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /**
+     * Attach the xmig-lens journal (non-owning; may be null). A
+     * livelock trip records a WatchdogTrip event and flushes the
+     * journal to its dump path for post-mortem analysis.
+     */
+    void attachJournal(obs::Journal *journal) { journal_ = journal; }
+
   private:
     WatchdogConfig config_;
     WatchdogStats stats_;
+    obs::Journal *journal_ = nullptr; ///< xmig-lens hook (may be null)
 
     // Ping-pong detection state.
     uint64_t windowStart_ = 0;     ///< request index opening the window

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 #include "util/logging.hpp"
@@ -97,6 +98,14 @@ MigrationMachine::access(const MemRef &ref)
 }
 
 void
+MigrationMachine::attachJournal(obs::Journal *journal)
+{
+    journal_ = journal;
+    if (controller_)
+        controller_->attachJournal(journal);
+}
+
+void
 MigrationMachine::applyCoreEvents()
 {
     XMIG_ASSERT(injector_ && controller_,
@@ -118,7 +127,12 @@ MigrationMachine::applyCoreEvents()
             // Abrupt unplug: the L2 (and any affinity-cache state the
             // controller retired with the resplit) is simply gone.
             // Modified lines whose only copy lived there are lost.
-            stats_.dirtyLinesLost += l2s_[ev.core]->invalidateAll();
+            const uint64_t lost = l2s_[ev.core]->invalidateAll();
+            stats_.dirtyLinesLost += lost;
+            XMIG_JOURNAL(journal_, obs::JournalKind::CoreOff,
+                         obs::JournalCause::FaultForced,
+                         static_cast<int64_t>(ev.core),
+                         static_cast<int64_t>(lost));
             XMIG_TRACE("fault", "core_off",
                        {{"core", ev.core},
                         {"live", controller_->liveCores()}});
@@ -129,6 +143,9 @@ MigrationMachine::applyCoreEvents()
             ++stats_.coreOnEvents;
             // The rejoining core's L2 was invalidated on unplug; it
             // refills on demand once execution migrates there.
+            XMIG_JOURNAL(journal_, obs::JournalKind::CoreOn,
+                         obs::JournalCause::FaultForced,
+                         static_cast<int64_t>(ev.core));
             XMIG_TRACE("fault", "core_on",
                        {{"core", ev.core},
                         {"live", controller_->liveCores()}});
@@ -136,6 +153,8 @@ MigrationMachine::applyCoreEvents()
         if (activeCore_ != controller_->activeCore()) {
             // Forced migration: the active core was unplugged.
             ++stats_.migrations;
+            interMigrationGap_.record(stats_.refs - lastMigrationRef_);
+            lastMigrationRef_ = stats_.refs;
             activeCore_ = controller_->activeCore();
             XMIG_TRACE_COUNTER("machine", "active_core", activeCore_);
         }
@@ -150,8 +169,10 @@ MigrationMachine::onLine(const LineEvent &event)
         ++stats_.l1Misses;
 
     // The trace timeline advances in post-L1 references: every event
-    // recorded below lands at this logical instant.
+    // recorded below lands at this logical instant. The journal runs
+    // on the same clock so report timelines and traces line up.
     XMIG_TRACE_CLOCK(stats_.refs);
+    XMIG_JOURNAL_CLOCK(journal_, stats_.refs);
 
     CacheEntry *probe = nullptr;
     bool probed = false;
@@ -167,6 +188,8 @@ MigrationMachine::onLine(const LineEvent &event)
             event.line, /*l2_miss=*/probe == nullptr, event.pointer);
         if (target != activeCore_) {
             ++stats_.migrations;
+            interMigrationGap_.record(stats_.refs - lastMigrationRef_);
+            lastMigrationRef_ = stats_.refs;
             XMIG_TRACE_COUNTER("machine", "active_core", target);
             activeCore_ = target;
             probe = nullptr; // probe was on the previous active core
@@ -213,6 +236,7 @@ MigrationMachine::scrubCoherence()
     // copy but one — prefer the active core's (freshest value under
     // the lost-broadcast model), else the lowest core's. Demoted
     // copies are written back to L3, as hardware scrubbers do.
+    const uint64_t repairs_before = stats_.coherenceRepairs;
     std::unordered_map<uint64_t, std::vector<unsigned>> modified_at;
     for (unsigned c = 0; c < config_.numCores; ++c) {
         l2s_[c]->tags().forEachValid([&](const CacheEntry &e) {
@@ -252,6 +276,13 @@ MigrationMachine::scrubCoherence()
             writebackToL3(line);
             ++stats_.coherenceRepairs;
         }
+    }
+    if (stats_.coherenceRepairs > repairs_before) {
+        XMIG_JOURNAL(journal_, obs::JournalKind::CoherenceScrub,
+                     obs::JournalCause::FaultForced,
+                     static_cast<int64_t>(stats_.coherenceRepairs -
+                                          repairs_before),
+                     static_cast<int64_t>(scrubTick_));
     }
     if (stats_.coherenceRepairs > 0)
         XMIG_TRACE_COUNTER("fault", "coherence_repairs",

@@ -224,6 +224,22 @@ class MigrationMachine : public RefSink, private LineSink
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix) const;
 
+    /**
+     * Attach the xmig-lens journal (non-owning; may be null) to this
+     * machine and everything below it (controller, splitter engines,
+     * watchdog, fault injector). The machine drives the journal clock
+     * in post-L1 references — the same timeline XMIG_TRACE uses — and
+     * records the machine-level events (migrations with distance,
+     * core churn, coherence scrubs).
+     */
+    void attachJournal(obs::Journal *journal);
+
+    /** Distances (in refs) between consecutive migrations. */
+    const obs::Histogram &interMigrationGapHistogram() const
+    {
+        return interMigrationGap_;
+    }
+
   private:
     void onLine(const LineEvent &event) override;
 
@@ -272,6 +288,9 @@ class MigrationMachine : public RefSink, private LineSink
     uint64_t auditTick_ = 0; ///< paranoid coherence-sweep cadence
     uint64_t scrubTick_ = 0; ///< bus-drop coherence-scrub cadence
     bool busFaulty_ = false; ///< plan targets the update bus
+    obs::Journal *journal_ = nullptr; ///< xmig-lens hook (may be null)
+    obs::Histogram interMigrationGap_; ///< refs between migrations
+    uint64_t lastMigrationRef_ = 0;
     MachineStats stats_;
 };
 

@@ -66,6 +66,8 @@ MigrationMachine::registerMetrics(obs::MetricsRegistry &registry,
     registry.addGauge(prefix + ".active_core", [this] {
         return static_cast<double>(activeCore_);
     });
+    registry.addHistogram(prefix + ".inter_migration_refs",
+                          &interMigrationGap_);
 
     const CacheStats &il1 = l1_->il1Stats();
     registry.addCounter(prefix + ".il1.accesses", &il1.accesses);

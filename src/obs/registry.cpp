@@ -1,6 +1,7 @@
 #include "obs/registry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "obs/json.hpp"
@@ -25,6 +26,43 @@ kindName(MetricKind kind)
 }
 
 } // namespace
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 100.0)
+        p = 100.0;
+    // Rank of the requested sample, 1-based; p = 0 selects the first.
+    const double raw = p / 100.0 * static_cast<double>(count_);
+    uint64_t target = static_cast<uint64_t>(raw);
+    if (static_cast<double>(target) < raw)
+        ++target; // ceil
+    if (target == 0)
+        target = 1;
+    uint64_t cum = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        const uint64_t n = buckets_[b];
+        if (n == 0 || cum + n < target) {
+            cum += n;
+            continue;
+        }
+        if (b == 0)
+            return 0.0; // bucket 0 holds exactly v == 0
+        const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+        const double hi = lo * 2.0 - 1.0;
+        // 0-based index of the rank inside this bucket; single-sample
+        // buckets land on the lower bound exactly.
+        const double idx = static_cast<double>(target - cum - 1);
+        const double frac =
+            n > 1 ? idx / static_cast<double>(n - 1) : 0.0;
+        return lo + frac * (hi - lo);
+    }
+    return 0.0; // unreachable: target <= count_
+}
 
 bool
 MetricsRegistry::claim(const std::string &path)
@@ -143,6 +181,10 @@ MetricsRegistry::renderJsonl() const
         out += kindName(e.kind);
         out += "\",\"value\":" + jsonNumber(read(e));
         if (e.kind == MetricKind::Histogram) {
+            out += ",\"p50\":" + jsonNumber(e.hist->percentile(50));
+            out += ",\"p95\":" + jsonNumber(e.hist->percentile(95));
+            out += ",\"p99\":" + jsonNumber(e.hist->percentile(99));
+            out += ",\"p999\":" + jsonNumber(e.hist->percentile(99.9));
             out += ",\"buckets\":[";
             const auto &buckets = e.hist->buckets();
             for (size_t b = 0; b < buckets.size(); ++b) {
@@ -172,10 +214,18 @@ MetricsRegistry::renderCsv() const
 std::string
 MetricsRegistry::renderTable(const std::string &title) const
 {
-    AsciiTable table({"metric", "kind", "value"});
+    AsciiTable table({"metric", "kind", "value", "p50", "p95", "p99"});
     for (const size_t i : sortedOrder()) {
         const Entry &e = entries_[i];
-        table.addRow({e.name, kindName(e.kind), jsonNumber(read(e))});
+        if (e.kind == MetricKind::Histogram) {
+            table.addRow({e.name, kindName(e.kind), jsonNumber(read(e)),
+                          jsonNumber(e.hist->percentile(50)),
+                          jsonNumber(e.hist->percentile(95)),
+                          jsonNumber(e.hist->percentile(99))});
+        } else {
+            table.addRow({e.name, kindName(e.kind), jsonNumber(read(e)),
+                          "", "", ""});
+        }
     }
     return table.render(title);
 }

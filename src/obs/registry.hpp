@@ -72,6 +72,17 @@ class Histogram
     uint64_t count() const { return count_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
 
+    /**
+     * Estimate the p-th percentile (p in [0, 100]) by linear
+     * interpolation inside the log2 bucket holding that rank.
+     * Bucket 0 is exactly v == 0 and bucket b >= 1 spans
+     * [2^(b-1), 2^b - 1], so single-sample buckets — and in
+     * particular exact powers of two — report their lower bound
+     * exactly. The open-ended last bucket is treated as its nominal
+     * span. Returns 0.0 for an empty histogram.
+     */
+    double percentile(double p) const;
+
     void
     reset()
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "multicore/machine.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "sim/options.hpp"
 #include "util/contracts.hpp"
@@ -30,6 +31,7 @@ observeOptionsOf(const BenchOptions &opt)
     o.metricsOut = opt.metricsOut;
     o.samplesOut = opt.samplesOut;
     o.traceOut = opt.traceOut;
+    o.journalOut = opt.journalOut;
     if (opt.sampleEvery > 0)
         o.sampleEvery = opt.sampleEvery;
     return o;
@@ -49,6 +51,20 @@ RunObservatory::RunObservatory(const ObserveOptions &options)
                       options_.traceOut.c_str());
         }
     }
+    if (!options_.journalOut.empty()) {
+        if (obs::kJournalCompiled) {
+            journal_ =
+                std::make_unique<obs::Journal>(options_.journalCapacity);
+            // Arm incident dumps at the same path: a panic or watchdog
+            // fire flushes the causal history even if finish() never
+            // runs.
+            journal_->setDumpPath(options_.journalOut);
+        } else {
+            XMIG_WARN("journal output %s requested but XMIG_JOURNAL "
+                      "was compiled out (-DXMIG_JOURNAL=OFF)",
+                      options_.journalOut.c_str());
+        }
+    }
 }
 
 RunObservatory::~RunObservatory()
@@ -60,12 +76,19 @@ RunObservatory::~RunObservatory()
 }
 
 void
-RunObservatory::attachMachine(const MigrationMachine &machine,
+RunObservatory::attachMachine(MigrationMachine &machine,
                               const std::string &prefix, bool sampled)
 {
     machine.registerMetrics(registry_, prefix);
 
-    if (!sampled || options_.samplesOut.empty())
+    if (!sampled)
+        return;
+    // The journal rides on the sampled machine only: one causal
+    // stream per run, single-thread confined with its machine, so a
+    // parallel sweep's other cells never touch it.
+    if (journal_)
+        machine.attachJournal(journal_.get());
+    if (options_.samplesOut.empty())
         return;
     XMIG_ASSERT(!sampling_,
                 "only one machine per observatory can be sampled");
@@ -138,6 +161,8 @@ RunObservatory::finish()
         registry_.writeJsonl(options_.metricsOut);
     if (sampling_ && !options_.samplesOut.empty())
         sampler_.writeCsv(options_.samplesOut);
+    if (journal_)
+        journal_->writeJsonl(options_.journalOut);
     if (tracing_)
         obs::tracer().stop();
 }

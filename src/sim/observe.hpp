@@ -12,7 +12,11 @@
  *    `sampleEvery` references (exported as CSV);
  *  - the process-wide Tracer, started/stopped around the run so
  *    XMIG_TRACE sites (migrations, affinity-cache evictions, shadow
- *    disarms) land in a Chrome trace_event file.
+ *    disarms) land in a Chrome trace_event file;
+ *  - an xmig-lens event Journal (obs/journal.hpp), attached to the
+ *    sampled machine and exported as JSONL at the end. Unlike the
+ *    Tracer, the journal is per-machine state, so --journal-out works
+ *    at any --jobs value (docs/observability.md, "Journal").
  *
  * Lifetime rule (see obs/registry.hpp): registered pointers reach
  * into the live machines, so finish() must run while the machines
@@ -23,10 +27,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
+
+namespace xmig::obs {
+class Journal;
+} // namespace xmig::obs
 
 namespace xmig {
 
@@ -39,6 +48,7 @@ struct ObserveOptions
     std::string metricsOut; ///< JSONL metrics dump path
     std::string samplesOut; ///< time-series CSV path
     std::string traceOut;   ///< Chrome trace_event JSON path
+    std::string journalOut; ///< xmig-lens event journal JSONL path
 
     /** References between time-series samples. */
     uint64_t sampleEvery = 10'000;
@@ -46,12 +56,15 @@ struct ObserveOptions
     /** Time-series ring capacity (rows). */
     size_t sampleCapacity = 4096;
 
+    /** Event-journal ring capacity (events). */
+    size_t journalCapacity = 65536;
+
     /** True if any output was requested. */
     bool
     any() const
     {
         return !metricsOut.empty() || !samplesOut.empty() ||
-               !traceOut.empty();
+               !traceOut.empty() || !journalOut.empty();
     }
 };
 
@@ -75,11 +88,12 @@ class RunObservatory
     /**
      * Register `machine`'s full counter tree under `prefix`. With
      * `sampled` true (at most one machine per observatory), also
-     * install the standard time-series columns: A_R, Delta, filter
+     * install the standard time-series columns — A_R, Delta, filter
      * value, active core, per-interval event rates, and per-core L2
-     * occupancies plus their spread.
+     * occupancies plus their spread — and attach the event journal
+     * (when --journal-out asked for one) to the machine.
      */
-    void attachMachine(const MigrationMachine &machine,
+    void attachMachine(MigrationMachine &machine,
                        const std::string &prefix, bool sampled);
 
     /** Advance sampling time; call once per memory reference. */
@@ -101,10 +115,14 @@ class RunObservatory
     obs::TimeSeriesSampler &sampler() { return sampler_; }
     const ObserveOptions &options() const { return options_; }
 
+    /** The event journal (null unless --journal-out requested one). */
+    obs::Journal *journal() { return journal_.get(); }
+
   private:
     ObserveOptions options_;
     obs::MetricsRegistry registry_;
     obs::TimeSeriesSampler sampler_;
+    std::unique_ptr<obs::Journal> journal_;
     bool sampling_ = false;
     bool tracing_ = false;
     bool finished_ = false;

@@ -24,6 +24,8 @@
  *   --metrics-out F   dump the metrics registry as JSONL to F
  *   --samples-out F   dump the time-series sampler as CSV to F
  *   --trace-out F     write a Chrome trace_event JSON file to F
+ *   --journal-out F   dump the xmig-lens event journal as JSONL to F
+ *                     (per-machine state: works at any --jobs)
  *   --sample-every N  references between time-series samples
  *
  * Numeric values are validated strictly (xmig-iron): empty, signed,
@@ -56,6 +58,7 @@ struct BenchOptions
     std::string metricsOut;    ///< "" = no metrics dump
     std::string samplesOut;    ///< "" = no time-series dump
     std::string traceOut;      ///< "" = no trace
+    std::string journalOut;    ///< "" = no event journal
     uint64_t sampleEvery = 0;  ///< 0 = sampler default cadence
 
     std::string faultPlan;     ///< "" = no fault injection
@@ -77,7 +80,7 @@ struct BenchOptions
     observing() const
     {
         return !metricsOut.empty() || !samplesOut.empty() ||
-               !traceOut.empty();
+               !traceOut.empty() || !journalOut.empty();
     }
 
     /**
@@ -158,6 +161,8 @@ struct BenchOptions
                 opt.samplesOut = next();
             else if (arg == "--trace-out")
                 opt.traceOut = next();
+            else if (arg == "--journal-out")
+                opt.journalOut = next();
             else if (arg == "--sample-every")
                 opt.sampleEvery = parseCount("--sample-every", next());
             else if (arg == "--fault-plan") {

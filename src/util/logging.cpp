@@ -5,6 +5,21 @@
 #include <vector>
 
 namespace xmig {
+
+namespace {
+
+// Written once at startup (journal registration) and read on the
+// abort path; a plain pointer keeps panicImpl allocation-free.
+PanicHook panicHook = nullptr;
+
+} // namespace
+
+void
+setPanicHook(PanicHook hook)
+{
+    panicHook = hook;
+}
+
 namespace detail {
 
 std::string
@@ -30,6 +45,8 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    if (panicHook != nullptr)
+        panicHook();
     std::abort();
 }
 

@@ -15,6 +15,17 @@
 
 namespace xmig {
 
+/**
+ * Hook invoked by panicImpl() after printing the message and before
+ * abort(). Higher layers use it to flush post-mortem state — the
+ * xmig-lens journal registers one to dump armed flight recorders —
+ * without util/ growing a dependency on them. At most one hook;
+ * registering replaces the previous one. Must be async-safe enough
+ * for an abort path (no throwing, no re-panicking).
+ */
+using PanicHook = void (*)();
+void setPanicHook(PanicHook hook);
+
 namespace detail {
 
 [[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);

@@ -261,6 +261,50 @@ TEST(ContractCoverage, ConstAndTrivialMethodsAreExempt)
 }
 
 // ---------------------------------------------------------------------------
+// journal-in-hot-loop
+// ---------------------------------------------------------------------------
+
+TEST(JournalInHotLoop, FlagsDirectJournalCalls)
+{
+    EXPECT_EQ(rulesIn("src/core/engine.cpp",
+                      "void f() { journal_->record(k, c, 1); }\n"),
+              std::vector<std::string>{"journal-in-hot-loop"});
+    EXPECT_EQ(rulesIn("src/multicore/machine.cpp",
+                      "void f() { journal.setClock(refs); }\n"),
+              std::vector<std::string>{"journal-in-hot-loop"});
+    EXPECT_EQ(rulesIn("src/fault/watchdog.cpp",
+                      "void f() { theJournal->dumpNow(\"x\"); }\n"),
+              std::vector<std::string>{"journal-in-hot-loop"});
+}
+
+TEST(JournalInHotLoop, MacroUseAndObsSubsystemAreExempt)
+{
+    // The macro family is the blessed path: its raw token stream
+    // never spells `<journal ident> -> record (`.
+    EXPECT_TRUE(rulesIn("src/core/engine.cpp",
+                        "void f() { XMIG_JOURNAL(journal_, k, c, 1); "
+                        "XMIG_JOURNAL_CLOCK(journal_, refs); }\n")
+                    .empty());
+    // The journal's own home may call itself.
+    EXPECT_TRUE(rulesIn("src/obs/journal.cpp",
+                        "void g() { journal_->record(k, c); }\n")
+                    .empty());
+}
+
+TEST(JournalInHotLoop, OnlyGatedMethodsAreBanned)
+{
+    // Lifecycle calls (export, arming) are not event emission.
+    EXPECT_TRUE(rulesIn("src/sim/observe.cpp",
+                        "void f() { journal_->writeJsonl(path); "
+                        "journal_->setDumpPath(p); }\n")
+                    .empty());
+    // record() on a non-journal receiver is fine.
+    EXPECT_TRUE(rulesIn("src/core/engine.cpp",
+                        "void f() { sampler_->record(v); }\n")
+                    .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 

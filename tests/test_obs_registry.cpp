@@ -205,5 +205,81 @@ TEST(Histogram, BucketsByBitWidth)
     EXPECT_EQ(h.buckets()[2], 0u);
 }
 
+TEST(HistogramPercentile, EmptyHistogramReportsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);
+}
+
+TEST(HistogramPercentile, ZeroSamplesAreExactlyZero)
+{
+    // Bucket 0 holds exactly v == 0 — no interpolation smear.
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+}
+
+TEST(HistogramPercentile, PowerOfTwoSingleSampleIsExact)
+{
+    // A single sample lands on its bucket's lower bound, and 2^k *is*
+    // the lower bound of bucket k+1 — so powers of two round-trip.
+    for (const uint64_t v : {1u, 2u, 64u, 1024u, 65536u}) {
+        Histogram h;
+        h.record(v);
+        EXPECT_DOUBLE_EQ(h.percentile(50), static_cast<double>(v)) << v;
+        EXPECT_DOUBLE_EQ(h.percentile(99.9), static_cast<double>(v))
+            << v;
+    }
+}
+
+TEST(HistogramPercentile, OutOfRangePIsClamped)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1024);
+    EXPECT_DOUBLE_EQ(h.percentile(-10), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(500), h.percentile(100));
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1024.0);
+}
+
+TEST(HistogramPercentile, InterpolatesInsideABucket)
+{
+    // 3 samples in bucket 11 ([1024, 2047]): ranks spread linearly
+    // across the span, endpoints on the bounds.
+    Histogram h;
+    h.record(1024);
+    h.record(1500);
+    h.record(2000);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1024.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 2047.0);
+    const double p50 = h.percentile(50);
+    EXPECT_GT(p50, 1024.0);
+    EXPECT_LT(p50, 2047.0);
+    // Percentiles are monotone in p.
+    EXPECT_LE(h.percentile(50), h.percentile(95));
+    EXPECT_LE(h.percentile(95), h.percentile(99));
+}
+
+TEST(HistogramPercentile, ExportersCarryPercentiles)
+{
+    MetricsRegistry r;
+    Histogram h;
+    h.record(256); // one sample: every percentile is exactly 256
+    ASSERT_TRUE(r.addHistogram("machine.gap", &h));
+    const std::string jsonl = r.renderJsonl();
+    EXPECT_NE(jsonl.find("\"p50\":256"), std::string::npos) << jsonl;
+    EXPECT_NE(jsonl.find("\"p95\":256"), std::string::npos) << jsonl;
+    EXPECT_NE(jsonl.find("\"p99\":256"), std::string::npos) << jsonl;
+    EXPECT_NE(jsonl.find("\"p999\":256"), std::string::npos) << jsonl;
+    const std::string table = r.renderTable("t");
+    EXPECT_NE(table.find("p50"), std::string::npos) << table;
+    EXPECT_NE(table.find("p99"), std::string::npos) << table;
+}
+
 } // namespace
 } // namespace xmig::obs

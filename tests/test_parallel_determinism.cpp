@@ -9,11 +9,14 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "fault/fault_injector.hpp"
+#include "obs/journal.hpp"
 
 namespace xmig {
 namespace {
@@ -73,6 +76,38 @@ TEST(ParallelDeterminism, Table2SmokeWithFaultPlanIsByteIdentical)
     const std::string serial = table2("--jobs 1 " + plan);
     ASSERT_FALSE(serial.empty());
     EXPECT_EQ(serial, table2("--jobs 8 " + plan));
+}
+
+TEST(ParallelDeterminism, JournalIsByteIdenticalAcrossJobs)
+{
+    // The xmig-lens journal is owned by the sampled machine, not the
+    // process, so arming it must not force jobs=1 — and its JSONL
+    // must still be a pure function of (seed, config, fault plan).
+    if (!obs::kJournalCompiled)
+        GTEST_SKIP() << "journal compiled out (-DXMIG_JOURNAL=OFF)";
+    const std::string plan =
+        kFaultEnabled ? " --fault-plan \"at=200000:core_off=1;"
+                        "at=500000:core_on=1\""
+                      : "";
+    const std::string dir = testing::TempDir();
+    auto journalAt = [&](int jobs) {
+        const std::string path =
+            dir + "xmig_pd_journal_j" + std::to_string(jobs) + ".jsonl";
+        table2("--jobs " + std::to_string(jobs) + plan +
+               " --journal-out " + path);
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good()) << path;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::remove(path.c_str());
+        return ss.str();
+    };
+    const std::string serial = journalAt(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("\"journal\":\"xmig-lens\""),
+              std::string::npos);
+    EXPECT_EQ(serial, journalAt(3));
+    EXPECT_EQ(serial, journalAt(8));
 }
 
 TEST(ParallelDeterminism, JobsEnvironmentVariableIsHonored)

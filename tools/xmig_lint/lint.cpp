@@ -850,6 +850,62 @@ ruleContractCoverage(const std::string &path, const LexedFile &lexed,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: journal-in-hot-loop
+// ---------------------------------------------------------------------------
+
+/** Journal methods whose direct use bypasses the macro discipline. */
+const std::unordered_set<std::string> kJournalGatedMethods = {
+    "record",
+    "setClock",
+    "dumpNow",
+};
+
+bool
+identMentionsJournal(const std::string &text)
+{
+    std::string lower = text;
+    for (char &c : lower)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return lower.find("journal") != std::string::npos;
+}
+
+void
+ruleJournalInHotLoop(const std::string &path, const LexedFile &lexed,
+                     const std::string &content,
+                     std::vector<Finding> &findings)
+{
+    // src/obs/ is the journal's home: the Journal class and the
+    // XMIG_JOURNAL macro family legitimately spell out these calls.
+    if (path.find("src/") == std::string::npos ||
+        path.find("src/obs/") != std::string::npos)
+        return;
+    const auto &toks = lexed.toks;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            !identMentionsJournal(toks[i].text))
+            continue;
+        if (toks[i + 1].kind != TokKind::Punct ||
+            (toks[i + 1].text != "." && toks[i + 1].text != "->"))
+            continue;
+        if (toks[i + 2].kind != TokKind::Ident ||
+            kJournalGatedMethods.count(toks[i + 2].text) == 0)
+            continue;
+        if (toks[i + 3].text != "(")
+            continue;
+        findings.push_back(
+            {path, toks[i].line, "journal-in-hot-loop",
+             "direct " + toks[i].text + toks[i + 1].text +
+                 toks[i + 2].text +
+                 "() bypasses the journal macros: it is not compiled "
+                 "out under -DXMIG_JOURNAL=OFF and pays argument "
+                 "evaluation even with no journal attached; use "
+                 "XMIG_JOURNAL / XMIG_JOURNAL_CLOCK / "
+                 "XMIG_JOURNAL_INCIDENT (src/obs/journal.hpp)",
+             sourceLine(content, toks[i].line)});
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -860,8 +916,10 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> rules = {
-        "no-wallclock",   "unordered-output",  "pointer-order",
-        "naked-mutex",    "contract-coverage", "bad-suppression",
+        "no-wallclock",        "unordered-output",
+        "pointer-order",       "naked-mutex",
+        "contract-coverage",   "journal-in-hot-loop",
+        "bad-suppression",
     };
     return rules;
 }
@@ -896,6 +954,7 @@ lintFiles(const std::vector<std::pair<std::string, std::string>> &files)
         rulePointerOrder(path, lexed[f], content, raw);
         ruleNakedMutex(path, lexed[f], content, raw);
         ruleContractCoverage(path, lexed[f], content, raw);
+        ruleJournalInHotLoop(path, lexed[f], content, raw);
 
         const Suppressions sup =
             parseSuppressions(path, lexed[f].comments, content);

@@ -46,6 +46,13 @@
  *                      or src/multicore/ whose body is non-trivial
  *                      yet contains no XMIG_ASSERT / XMIG_AUDIT /
  *                      XMIG_EXPECT site.
+ *   journal-in-hot-loop  a direct journal method call
+ *                      (x->record(...) / x.setClock(...) /
+ *                      x->dumpNow(...)) in src/ outside src/obs/ —
+ *                      bare calls bypass the XMIG_JOURNAL macro
+ *                      family, so they neither compile out under
+ *                      -DXMIG_JOURNAL=OFF nor skip argument
+ *                      evaluation when no journal is attached.
  *   bad-suppression    a malformed xmig-lint comment (unknown rule
  *                      id, or no justification).
  *

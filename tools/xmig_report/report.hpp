@@ -1,0 +1,182 @@
+/**
+ * @file
+ * xmig-lens run reports: joins the per-run artifacts (event journal
+ * JSONL, metrics JSONL, time-series CSV, BENCH_swift.json) into
+ * human-readable reports, causal explanations and A/B regression
+ * verdicts.
+ *
+ * The library is UI-free string-to-string transforms so
+ * tests/test_report.cpp can drive it on in-memory fixtures; the CLI
+ * (main.cpp) wraps it with file I/O and exit-code policy:
+ *
+ *   xmig_report report  [--journal J] [--metrics M] [--samples S]
+ *   xmig_report explain N --journal J
+ *   xmig_report diff A B [--gate G]     (also: xmig_report --diff A B)
+ *
+ * diff auto-detects what A and B are — a bench baseline
+ * (BENCH_swift.json), a metrics JSONL dump, or an event journal — and
+ * compares accordingly. With --gate, numeric regressions beyond the
+ * gate's per-metric thresholds fail the diff, and host-metadata
+ * mismatches (core count, compiler) *refuse* the comparison instead
+ * of producing an apples-to-oranges verdict.
+ *
+ * Exit codes (CLI): 0 pass / no gate, 1 gate failed, 2 comparison
+ * refused (host mismatch), 3 usage or I/O error.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xmig::report {
+
+/** What a text blob turned out to be. */
+enum class InputKind
+{
+    Bench,   ///< BENCH_swift.json-style single-document baseline
+    Metrics, ///< metrics registry JSONL ({"name":...} per line)
+    Journal, ///< xmig-lens event journal JSONL
+    Samples, ///< time-series CSV ("t,interval,..." header)
+    Unknown,
+};
+
+const char *inputKindName(InputKind kind);
+
+/** Sniff the artifact type from its first bytes. */
+InputKind detectInput(const std::string &text);
+
+// ----- event journal ---------------------------------------------------
+
+/** One parsed journal event. */
+struct ReportEvent
+{
+    uint64_t seq = 0;
+    uint64_t t = 0;
+    std::string kind;
+    std::string cause;
+    /// Per-kind named payload, in emission order (e.g. from/to/n).
+    std::vector<std::pair<std::string, double>> args;
+
+    /** First arg named `name`, or `fallback`. */
+    double arg(const std::string &name, double fallback = 0.0) const;
+};
+
+/** A parsed journal dump. */
+struct JournalDoc
+{
+    bool ok = false;
+    std::string error;
+    uint64_t capacity = 0;
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+    std::string incident; ///< non-empty if the dump was an incident
+    std::vector<ReportEvent> events;
+};
+
+JournalDoc parseJournal(const std::string &text);
+
+// ----- metrics ---------------------------------------------------------
+
+/** One metrics-registry JSONL row. */
+struct MetricRow
+{
+    std::string name;
+    std::string kind; ///< "counter" | "gauge" | "histogram"
+    double value = 0.0;
+    bool hasPercentiles = false;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;
+};
+
+struct MetricsDoc
+{
+    bool ok = false;
+    std::string error;
+    std::vector<MetricRow> rows;
+
+    const MetricRow *find(const std::string &name) const;
+};
+
+MetricsDoc parseMetrics(const std::string &text);
+
+// ----- bench baseline --------------------------------------------------
+
+/** A flattened BENCH_swift.json: numbers keyed by dotted path. */
+struct BenchDoc
+{
+    bool ok = false;
+    std::string error;
+    std::string bench;    ///< "xmig-swift"
+    std::string compiler; ///< host metadata ("" in old baselines)
+    double hostCores = 0.0;
+    std::map<std::string, double> numbers; ///< e.g. ns_per_reference.x
+};
+
+BenchDoc parseBench(const std::string &text);
+
+// ----- reports ---------------------------------------------------------
+
+/**
+ * Render the joined run report: journal headline + per-kind/cause
+ * breakdown and timeline tail, metric headlines and every histogram's
+ * percentiles, and the time-series shape. Any input may be empty.
+ */
+std::string renderReport(const std::string &journalText,
+                         const std::string &metricsText,
+                         const std::string &samplesText);
+
+/**
+ * Causal chain for migration `n` (the journal's own migration count,
+ * 1-based): every event from the previous migration (exclusive) to
+ * migration `n` (inclusive), plus a verdict line naming the cause and
+ * the A_R / filter state at the decision. Errors render as a line
+ * starting with "error:".
+ */
+std::string renderExplain(const JournalDoc &doc, uint64_t n);
+
+// ----- diff + gate -----------------------------------------------------
+
+/** One numeric difference between runs A and B. */
+struct Delta
+{
+    std::string key;
+    double a = 0.0;
+    double b = 0.0;
+};
+
+/** Per-metric regression bounds parsed from gates.json. */
+struct GateSpec
+{
+    bool ok = false;
+    std::string error;
+    bool requireSameHost = false;
+    /// key -> max allowed fractional regression ((b-a)/a).
+    std::map<std::string, double> maxRegressFrac;
+};
+
+GateSpec parseGate(const std::string &text);
+
+struct DiffResult
+{
+    InputKind kind = InputKind::Unknown;
+    bool ok = false;      ///< inputs parsed and were comparable
+    std::string error;
+    bool refused = false; ///< host metadata mismatch under a gate
+    std::string refusal;
+    bool gateFailed = false;
+    std::vector<Delta> deltas;
+    std::vector<std::string> notes; ///< e.g. first journal divergence
+
+    std::string render() const;
+};
+
+/**
+ * Compare two artifacts of the same kind. `gateText` may be empty
+ * (informational diff). Identical inputs yield zero deltas.
+ */
+DiffResult diffTexts(const std::string &a, const std::string &b,
+                     const std::string &gateText);
+
+} // namespace xmig::report
