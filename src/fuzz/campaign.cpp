@@ -1,5 +1,6 @@
 #include "fuzz/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -59,6 +60,26 @@ renderRepro(const CampaignFailure &f)
     return out.str();
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+CampaignResult::oracleCounts() const
+{
+    std::vector<std::pair<std::string, uint64_t>> counts;
+    for (const CampaignFailure &f : failures) {
+        bool found = false;
+        for (auto &entry : counts) {
+            if (entry.first == f.failure.oracle) {
+                ++entry.second;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            counts.emplace_back(f.failure.oracle, 1);
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts;
+}
+
 std::string
 CampaignResult::summary() const
 {
@@ -75,40 +96,35 @@ CampaignResult::summary() const
             out << " repro=" << f.reproPath;
         out << "\n";
     }
+    out << "oracle_failures:";
+    const auto counts = oracleCounts();
+    if (counts.empty()) {
+        out << " none";
+    } else {
+        for (const auto &entry : counts)
+            out << ' ' << entry.first << '=' << entry.second;
+    }
+    out << "\n" << coverage.reportLine() << "\n";
     return out.str();
 }
 
+namespace {
+
+/**
+ * Shared back half of both campaign flavors: fold refs/coverage in
+ * case-index order, minimize failures serially, write repros.
+ */
 CampaignResult
-runCampaign(const CampaignConfig &config,
-            const PropertyHarness &harness, const JobPool &pool)
+collate(const CampaignConfig &config, const PropertyHarness &harness,
+        const std::vector<FuzzCase> &cases,
+        const std::vector<CaseResult> &results)
 {
-    XMIG_ASSERT(config.plans > 0, "campaign needs at least one plan");
-
-    // Draw every case on the caller thread, before the fan-out: the
-    // case list (and therefore the whole campaign) depends only on
-    // the campaign seed, never on worker scheduling.
-    PlanGenerator generator(config.seed, config.generator);
-    Rng seeder(config.seed ^ 0x9e3779b97f4a7c15ULL);
-    std::vector<FuzzCase> cases;
-    cases.reserve(config.plans);
-    for (uint64_t i = 0; i < config.plans; ++i) {
-        FuzzCase c;
-        c.plan = generator.next().spec();
-        c.benchmark = config.benchmark;
-        c.workloadSeed = seeder.next() >> 1;
-        c.instructions = config.instructions;
-        cases.push_back(std::move(c));
-    }
-
-    const std::vector<CaseResult> results = runIndexed<CaseResult>(
-        pool, cases.size(),
-        [&](size_t i) { return harness.run(cases[i]); });
-
     CampaignResult out;
     out.cases = config.plans;
     for (size_t i = 0; i < results.size(); ++i) {
         out.refs += results[i].refs;
         out.faultsInjected += results[i].faultsInjected;
+        out.coverage.observe(results[i].coverage);
         if (!results[i].failed())
             continue;
 
@@ -139,6 +155,81 @@ runCampaign(const CampaignConfig &config,
         out.failures.push_back(std::move(f));
     }
     return out;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignConfig &config,
+            const PropertyHarness &harness, const JobPool &pool)
+{
+    XMIG_ASSERT(config.plans > 0, "campaign needs at least one plan");
+
+    // Draw every case on the caller thread, before the fan-out: the
+    // case list (and therefore the whole campaign) depends only on
+    // the campaign seed, never on worker scheduling.
+    PlanGenerator generator(config.seed, config.generator);
+    Rng seeder(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<FuzzCase> cases;
+    cases.reserve(config.plans);
+    for (uint64_t i = 0; i < config.plans; ++i) {
+        FuzzCase c;
+        c.plan = generator.next().spec();
+        c.benchmark = config.benchmark;
+        c.workloadSeed = seeder.next() >> 1;
+        c.instructions = config.instructions;
+        cases.push_back(std::move(c));
+    }
+
+    const std::vector<CaseResult> results = runIndexed<CaseResult>(
+        pool, cases.size(),
+        [&](size_t i) { return harness.run(cases[i]); });
+
+    return collate(config, harness, cases, results);
+}
+
+CampaignResult
+runGuidedCampaign(const CampaignConfig &config,
+                  const GuidedConfig &guided,
+                  const PropertyHarness &harness, const JobPool &pool,
+                  uint64_t batch)
+{
+    XMIG_ASSERT(config.plans > 0, "campaign needs at least one plan");
+    XMIG_ASSERT(batch > 0, "batch must be positive");
+
+    // The guided generator samples from the campaign's plan shape;
+    // only the guidance knobs come from `guided`.
+    GuidedConfig g = guided;
+    g.generator = config.generator;
+    CoverageGuidedGenerator generator(config.seed, g);
+
+    // Case drawing and feedback stay on the caller thread, batch by
+    // batch in case-index order; only harness execution fans out.
+    // The batch size is independent of the pool width, so the case
+    // sequence — and the whole result — is byte-stable at any --jobs.
+    std::vector<FuzzCase> cases;
+    std::vector<CaseResult> results;
+    cases.reserve(config.plans);
+    results.reserve(config.plans);
+    while (cases.size() < config.plans) {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(batch, config.plans - cases.size()));
+        const size_t base = cases.size();
+        for (size_t i = 0; i < n; ++i)
+            cases.push_back(generator.next(config.benchmark,
+                                           config.instructions));
+        const std::vector<CaseResult> batch_results =
+            runIndexed<CaseResult>(pool, n, [&](size_t i) {
+                return harness.run(cases[base + i]);
+            });
+        for (size_t i = 0; i < n; ++i) {
+            generator.feedback(cases[base + i],
+                               batch_results[i].coverage);
+            results.push_back(batch_results[i]);
+        }
+    }
+
+    return collate(config, harness, cases, results);
 }
 
 } // namespace xmig

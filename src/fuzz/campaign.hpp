@@ -15,8 +15,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "fuzz/coverage.hpp"
+#include "fuzz/coverage_generator.hpp"
 #include "fuzz/minimizer.hpp"
 #include "fuzz/plan_generator.hpp"
 #include "fuzz/property_harness.hpp"
@@ -61,8 +64,23 @@ struct CampaignResult
     std::vector<CampaignFailure> failures;
 
     /**
+     * Campaign-wide coverage (fuzz/coverage.hpp), folded from every
+     * case's snapshot in case-index order — collected by uniform and
+     * guided campaigns alike, so the two are directly comparable.
+     */
+    CoverageMap coverage;
+
+    /**
+     * Failure counts per oracle id, name-sorted (derived from
+     * `failures`; each case contributes its first failure).
+     */
+    std::vector<std::pair<std::string, uint64_t>> oracleCounts() const;
+
+    /**
      * Deterministic text summary (excludes jobs count and timing on
-     * purpose: it must be byte-identical at any parallelism).
+     * purpose: it must be byte-identical at any parallelism). The
+     * first line keeps the PR 5 format; xmig-storm appends per-oracle
+     * failure counts and the coverage report line.
      */
     std::string summary() const;
 };
@@ -81,5 +99,23 @@ std::string renderRepro(const CampaignFailure &f);
 CampaignResult runCampaign(const CampaignConfig &config,
                            const PropertyHarness &harness,
                            const JobPool &pool);
+
+/**
+ * Run a coverage-guided campaign: cases are drawn in fixed-size
+ * batches from a CoverageGuidedGenerator, each batch executes across
+ * `pool`, and its coverage feeds back before the next batch is drawn.
+ * `guided.generator` is overridden by `config.generator` so the two
+ * campaign flavors always sample from the same plan shape.
+ *
+ * The batch size is a guidance parameter, not a parallelism one: it
+ * is fixed regardless of `pool` width, and all drawing/feedback runs
+ * on the caller thread in case-index order, so the result is
+ * byte-identical at any --jobs (the xmig-swift contract).
+ */
+CampaignResult runGuidedCampaign(const CampaignConfig &config,
+                                 const GuidedConfig &guided,
+                                 const PropertyHarness &harness,
+                                 const JobPool &pool,
+                                 uint64_t batch = 16);
 
 } // namespace xmig

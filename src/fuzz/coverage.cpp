@@ -1,0 +1,151 @@
+#include "fuzz/coverage.hpp"
+
+#include <algorithm>
+
+#include "multicore/machine.hpp"
+#include "obs/registry.hpp"
+
+namespace xmig {
+
+namespace {
+
+/** True if `path` belongs to the coverage surface. */
+bool
+isCoveragePath(const std::string &path)
+{
+    // Recovery, watchdog, and per-site injection counters carry the
+    // whole "did we exercise this failure path" signal.
+    if (path.find(".recovery.") != std::string::npos ||
+        path.find(".watchdog.") != std::string::npos ||
+        path.find(".faults.injected.") != std::string::npos)
+        return true;
+    // Machine-level churn / scrub counters (the acceptance side of
+    // injected core and bus events).
+    static const char *const kMachineEvents[] = {
+        ".core_off_events", ".core_on_events", ".dirty_lines_lost",
+        ".bus_drops",       ".coherence_repairs",
+    };
+    for (const char *suffix : kMachineEvents) {
+        const size_t n = std::string(suffix).size();
+        if (path.size() >= n &&
+            path.compare(path.size() - n, n, suffix) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<CoveragePoint>
+collectCoverage(const MigrationMachine &machine)
+{
+    obs::MetricsRegistry registry;
+    machine.registerMetrics(registry, "machine");
+    std::vector<CoveragePoint> out;
+    for (const auto &sample : registry.counterSnapshot()) {
+        if (isCoveragePath(sample.name))
+            out.push_back({sample.name, sample.value});
+    }
+    return out;
+}
+
+unsigned
+CoverageMap::bucketOf(uint64_t value)
+{
+    unsigned b = 0;
+    while (value != 0) {
+        value >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+size_t
+CoverageMap::indexOf(const std::string &path)
+{
+    for (size_t i = 0; i < paths_.size(); ++i) {
+        if (paths_[i] == path)
+            return i;
+    }
+    paths_.push_back(path);
+    maxBucket_.push_back(0);
+    return paths_.size() - 1;
+}
+
+unsigned
+CoverageMap::observe(const std::vector<CoveragePoint> &points)
+{
+    unsigned novel = 0;
+    for (const CoveragePoint &p : points) {
+        const size_t i = indexOf(p.path);
+        const unsigned bucket = bucketOf(p.value);
+        if (bucket > maxBucket_[i]) {
+            // Every newly reached bucket is one feature; jumping
+            // several buckets at once earns them all.
+            novel += bucket - maxBucket_[i];
+            maxBucket_[i] = bucket;
+        }
+    }
+    return novel;
+}
+
+size_t
+CoverageMap::countersHit() const
+{
+    size_t hit = 0;
+    for (const unsigned b : maxBucket_)
+        hit += b > 0 ? 1 : 0;
+    return hit;
+}
+
+size_t
+CoverageMap::bucketsHit() const
+{
+    size_t features = 0;
+    for (const unsigned b : maxBucket_)
+        features += b;
+    return features;
+}
+
+unsigned
+CoverageMap::maxBucketOf(const std::string &path) const
+{
+    for (size_t i = 0; i < paths_.size(); ++i) {
+        if (paths_[i] == path)
+            return maxBucket_[i];
+    }
+    return 0;
+}
+
+bool
+CoverageMap::hit(const std::string &path) const
+{
+    return maxBucketOf(path) > 0;
+}
+
+std::string
+CoverageMap::reportLine() const
+{
+    return "coverage: counters_hit=" + std::to_string(countersHit()) +
+           "/" + std::to_string(countersTotal()) +
+           " buckets_hit=" + std::to_string(bucketsHit());
+}
+
+std::string
+CoverageMap::report() const
+{
+    std::string out = reportLine() + "\n";
+    std::vector<size_t> order(paths_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        return paths_[a] < paths_[b];
+    });
+    for (const size_t i : order) {
+        if (maxBucket_[i] == 0)
+            out += "  MISS " + paths_[i] + "\n";
+    }
+    return out;
+}
+
+} // namespace xmig

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * xmig-storm coverage maps: which recovery and injection paths a
+ * fuzzing campaign has actually exercised.
+ *
+ * PR 5's fuzzer samples fault plans uniformly, so it keeps re-probing
+ * the recovery paths that are easy to reach and never learns which
+ * counters it has failed to light up. The coverage layer closes that
+ * loop: after each harness run the machine's recovery/injection
+ * counter surface is read back through the xmig-scope MetricsRegistry
+ * (controller `*.recovery.*`, `FaultInjector` `*.injected.*`,
+ * watchdog and coherence-scrub counters — no JSONL re-parsing, see
+ * MetricsRegistry::counterSnapshot) and folded into a CoverageMap.
+ *
+ * A coverage *feature* is a (counter, magnitude-bucket) pair, with
+ * buckets on the log2 scale of the registry's Histogram: hitting a
+ * counter at all is one feature, driving it 2x-4x-8x higher are
+ * further features, so guidance keeps pushing even after first blood.
+ *
+ * Determinism: the map is a pure fold of the observed snapshots in
+ * observation order. Campaigns feed it in case-index order on the
+ * caller thread, so the map — and everything derived from it (site
+ * weights, the summary's coverage report) — is byte-identical at any
+ * `--jobs` (the xmig-swift contract, docs/parallelism.md).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmig {
+
+class MigrationMachine;
+
+/** One observed counter of the coverage surface. */
+struct CoveragePoint
+{
+    std::string path; ///< registry path, e.g. "machine.faults.injected.oe"
+    uint64_t value = 0;
+
+    bool operator==(const CoveragePoint &) const = default;
+};
+
+/**
+ * Read the coverage surface of `machine` back through a fresh
+ * MetricsRegistry: every counter under `machine.controller.recovery.*`,
+ * `machine.controller.watchdog.*` and `machine.faults.injected.*`,
+ * plus the machine-level churn/scrub counters (core_off/on events,
+ * dirty lines lost, bus drops, coherence repairs). Name-sorted, so
+ * the same machine state always yields the same point list.
+ */
+std::vector<CoveragePoint> collectCoverage(const MigrationMachine &machine);
+
+/**
+ * Accumulated (counter, bucket) coverage over a campaign.
+ *
+ * The counter universe is fixed by the first observe() call (the
+ * machine's registered coverage surface is a function of its config,
+ * so every case of a campaign sees the same universe); counters first
+ * seen later are appended, which keeps corpus replays from older
+ * configs safe.
+ */
+class CoverageMap
+{
+  public:
+    /** Magnitude bucket of a counter value: 0 for 0, else bit width. */
+    static unsigned bucketOf(uint64_t value);
+
+    /**
+     * Fold one observed snapshot into the map. Returns the number of
+     * novel features: counters never lit before plus magnitude
+     * buckets never reached before. 0 = this case taught us nothing.
+     */
+    unsigned observe(const std::vector<CoveragePoint> &points);
+
+    /** Number of distinct counters ever observed (the universe). */
+    size_t countersTotal() const { return paths_.size(); }
+
+    /** Counters observed non-zero at least once. */
+    size_t countersHit() const;
+
+    /** Total (counter, bucket) features collected, bucket >= 1. */
+    size_t bucketsHit() const;
+
+    /** Highest bucket seen for `path` (0 = never non-zero/unknown). */
+    unsigned maxBucketOf(const std::string &path) const;
+
+    /** True if `path` was ever observed non-zero. */
+    bool hit(const std::string &path) const;
+
+    /** The universe, in first-observation order. */
+    const std::vector<std::string> &paths() const { return paths_; }
+
+    /**
+     * Deterministic one-line summary for campaign output:
+     * "coverage: counters_hit=12/27 buckets_hit=31".
+     */
+    std::string reportLine() const;
+
+    /**
+     * Multi-line report: the reportLine(), then one "  MISS <path>"
+     * line per never-hit counter, name-sorted — the to-do list a
+     * soak farm is trying to burn down.
+     */
+    std::string report() const;
+
+  private:
+    size_t indexOf(const std::string &path);
+
+    std::vector<std::string> paths_;   ///< universe, stable order
+    std::vector<unsigned> maxBucket_;  ///< per path, 0 = unlit
+};
+
+} // namespace xmig

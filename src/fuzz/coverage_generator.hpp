@@ -1,0 +1,121 @@
+/**
+ * @file
+ * xmig-storm guided generation: a seeded bandit that biases plan
+ * sampling toward the recovery/injection counters a campaign has not
+ * lit up yet.
+ *
+ * The guidance loop is classic coverage-guided fuzzing, transplanted
+ * from edge coverage to the machine's counter surface:
+ *
+ *   1. draw a case — either a fresh plan composed site by site, or a
+ *      mutation of a corpus entry that previously earned coverage;
+ *   2. run it (PropertyHarness), read the coverage surface back
+ *      (fuzz/coverage.hpp);
+ *   3. feed the snapshot back: novel (counter, bucket) features admit
+ *      the plan into the corpus and reshape the per-site weights.
+ *
+ * The bandit is a deterministic weight table, not a learned model:
+ * each actuator site's weight grows with the number of unlit or
+ * low-magnitude counters it is known to influence (see sitesFor).
+ * Everything draws from one seeded Rng on the caller thread, and
+ * feedback is applied in case-index order, so a guided campaign is
+ * byte-stable at any `--jobs` — same contract as runCampaign.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/coverage.hpp"
+#include "fuzz/plan_generator.hpp"
+#include "fuzz/property_harness.hpp"
+#include "util/rng.hpp"
+
+namespace xmig {
+
+/** Guidance knobs on top of the base GeneratorConfig. */
+struct GuidedConfig
+{
+    GeneratorConfig generator;
+
+    /**
+     * Workloads the generator may pair a plan with. Empty = every
+     * case keeps the benchmark passed to next(). Order matters for
+     * determinism: callers must pass a fixed order, not a hash-map
+     * iteration.
+     */
+    std::vector<std::string> workloadPool;
+
+    /**
+     * Probability of composing a fresh plan instead of mutating a
+     * corpus entry (exploration vs exploitation). Corpus-empty draws
+     * are always fresh.
+     */
+    double freshBias = 0.3;
+
+    /**
+     * Probability that a guided statement uses hot value ranges
+     * (rates/ticks that reliably fire within a case) instead of the
+     * boundary-biased full ranges.
+     */
+    double hotBias = 0.8;
+
+    /** Corpus capacity; oldest entries are evicted first. */
+    size_t maxCorpus = 64;
+};
+
+/**
+ * Coverage-guided FuzzCase source. Same (seed, config, feedback
+ * sequence) => same case sequence, bit for bit.
+ */
+class CoverageGuidedGenerator
+{
+  public:
+    explicit CoverageGuidedGenerator(uint64_t seed,
+                                     GuidedConfig config = {});
+
+    /**
+     * Draw the next case. `benchmark` is the fallback workload when
+     * the pool is empty; `instructions` is copied through.
+     */
+    FuzzCase next(const std::string &benchmark, uint64_t instructions);
+
+    /**
+     * Fold one executed case's coverage snapshot back in. Must be
+     * called in case-index order on the thread that calls next().
+     * Returns the number of novel features the case earned.
+     */
+    unsigned feedback(const FuzzCase &c,
+                      const std::vector<CoveragePoint> &coverage);
+
+    /** The accumulated campaign coverage. */
+    const CoverageMap &coverage() const { return map_; }
+
+    size_t corpusSize() const { return corpus_.size(); }
+
+    /**
+     * Actuator sites known to influence the counter at `path` —
+     * the static causality table behind the bandit weights (e.g.
+     * `*.recovery.mig_timeouts` is reached by dropping migrations,
+     * so it maps to MigDrop). Empty for counters no plan statement
+     * can force (watchdog counters fire on workload pathology).
+     */
+    static std::vector<FaultSite> sitesFor(const std::string &path);
+
+  private:
+    FaultSite pickSite();
+    FuzzPlan compose();
+    FuzzPlan mutate(const std::string &spec);
+    void appendGuided(std::vector<std::string> &out, uint64_t &tick);
+    std::string pickBenchmark(const std::string &fallback);
+
+    GuidedConfig config_;
+    PlanGenerator gen_;
+    Rng rng_;
+    CoverageMap map_;
+    std::vector<std::string> corpus_; ///< plan specs that earned coverage
+};
+
+} // namespace xmig

@@ -1,0 +1,203 @@
+#include "fuzz/fuzz_cli.hpp"
+
+#include <cstdlib>
+
+namespace xmig {
+
+namespace {
+
+/**
+ * Strict unsigned parse: the whole token must be a decimal number.
+ * BenchOptions::parseCount XMIG_FATALs (exit 1) on bad input; a
+ * usage error must exit 2 instead, so this returns failure.
+ */
+bool
+parseU64(const std::string &token, uint64_t *out)
+{
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return false;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+fuzzCliUsage()
+{
+    return
+        "usage: xmig_fuzz [mode] [options]\n"
+        "\n"
+        "modes (default: uniform campaign):\n"
+        "  --guided              coverage-guided campaign\n"
+        "  --soak                standing soak (guided + persisted corpus)\n"
+        "  --replay 'PLAN'       re-run one case, report every oracle\n"
+        "  --self-test           prove the find->minimize->repro pipeline\n"
+        "\n"
+        "campaign options:\n"
+        "  --seed N              campaign seed (default 1)\n"
+        "  --plans N             campaign case count (default 200)\n"
+        "  --jobs N              worker threads (default: hardware)\n"
+        "  --instr N             instructions per case (default 150000)\n"
+        "  --bench NAME          workload (default 181.mcf)\n"
+        "  --repro-dir DIR       write minimized repro files here\n"
+        "  --no-minimize         keep failing plans unminimized\n"
+        "  --smoke               small fast configuration\n"
+        "  --verbose             progress to stderr\n"
+        "\n"
+        "guided/soak options:\n"
+        "  --budget N            soak case budget (default 512)\n"
+        "  --batch N             cases per guidance batch (default 16)\n"
+        "  --corpus DIR          persistent soak corpus directory\n"
+        "  --storm-workloads     pair the adversarial workload pool in\n"
+        "  --no-journal          skip journal re-runs of soak failures\n"
+        "\n"
+        "replay options:\n"
+        "  --workload-seed N     workload seed of the case (default 42)\n"
+        "\n"
+        "exit codes: 0 = clean, 1 = failures found, 2 = usage error\n";
+}
+
+FuzzCliParse
+parseFuzzCli(int argc, const char *const *argv)
+{
+    FuzzCliParse p;
+    FuzzCliOptions &o = p.options;
+
+    const auto fail = [&](const std::string &message) {
+        p.exitCode = 2;
+        p.error = message;
+        return p;
+    };
+
+    bool guided = false, soak = false, replay = false,
+         self_test = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+
+        // Flags taking a value.
+        const auto value = [&](const char **out) {
+            if (i + 1 >= argc)
+                return false;
+            *out = argv[++i];
+            return true;
+        };
+        const auto count = [&](uint64_t *out, bool positive) {
+            const char *token = nullptr;
+            if (!value(&token)) {
+                p.exitCode = 2;
+                p.error = "missing value for " + arg;
+                return false;
+            }
+            if (!parseU64(token, out)) {
+                p.exitCode = 2;
+                p.error = "malformed value for " + arg + ": '" +
+                          token + "'";
+                return false;
+            }
+            if (positive && *out == 0) {
+                p.exitCode = 2;
+                p.error = arg + " must be positive";
+                return false;
+            }
+            return true;
+        };
+
+        if (arg == "--help" || arg == "-h") {
+            p.exitCode = 0;
+            return p;
+        } else if (arg == "--guided") {
+            guided = true;
+        } else if (arg == "--soak") {
+            soak = true;
+        } else if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--replay") {
+            const char *token = nullptr;
+            if (!value(&token))
+                return fail("missing plan for --replay");
+            replay = true;
+            o.replayPlan = token;
+        } else if (arg == "--seed") {
+            if (!count(&o.seed, false))
+                return p;
+        } else if (arg == "--plans") {
+            if (!count(&o.plans, true))
+                return p;
+        } else if (arg == "--budget") {
+            if (!count(&o.budget, true))
+                return p;
+        } else if (arg == "--batch") {
+            if (!count(&o.batch, true))
+                return p;
+        } else if (arg == "--jobs") {
+            uint64_t jobs = 0;
+            if (!count(&jobs, true))
+                return p;
+            if (jobs > 1024)
+                return fail("--jobs must be <= 1024");
+            o.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--instr") {
+            if (!count(&o.instructions, true))
+                return p;
+        } else if (arg == "--workload-seed") {
+            if (!count(&o.workloadSeed, false))
+                return p;
+        } else if (arg == "--bench") {
+            const char *token = nullptr;
+            if (!value(&token))
+                return fail("missing value for --bench");
+            o.benchmark = token;
+        } else if (arg == "--repro-dir") {
+            const char *token = nullptr;
+            if (!value(&token))
+                return fail("missing value for --repro-dir");
+            o.reproDir = token;
+        } else if (arg == "--corpus") {
+            const char *token = nullptr;
+            if (!value(&token))
+                return fail("missing value for --corpus");
+            o.corpusDir = token;
+        } else if (arg == "--no-minimize") {
+            o.minimize = false;
+        } else if (arg == "--no-journal") {
+            o.journal = false;
+        } else if (arg == "--storm-workloads") {
+            o.stormWorkloads = true;
+        } else if (arg == "--smoke") {
+            o.smoke = true;
+        } else if (arg == "--verbose") {
+            o.verbose = true;
+        } else {
+            return fail("unknown flag '" + arg + "'");
+        }
+    }
+
+    const int modes = (guided ? 1 : 0) + (soak ? 1 : 0) +
+                      (replay ? 1 : 0) + (self_test ? 1 : 0);
+    if (modes > 1)
+        return fail("conflicting modes: pick one of --guided, "
+                    "--soak, --replay, --self-test");
+    if (soak)
+        o.mode = FuzzCliOptions::Mode::Soak;
+    else if (guided)
+        o.mode = FuzzCliOptions::Mode::Guided;
+    else if (replay)
+        o.mode = FuzzCliOptions::Mode::Replay;
+    else if (self_test)
+        o.mode = FuzzCliOptions::Mode::SelfTest;
+
+    if (!o.corpusDir.empty() &&
+        o.mode != FuzzCliOptions::Mode::Soak)
+        return fail("--corpus only makes sense with --soak");
+
+    return p;
+}
+
+} // namespace xmig

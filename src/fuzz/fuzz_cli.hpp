@@ -1,0 +1,75 @@
+/**
+ * @file
+ * xmig-storm CLI parsing for the xmig_fuzz tool.
+ *
+ * Unlike BenchOptions::parse — which warn-and-ignores unknown flags
+ * so that sweep tools can share argv — the fuzz driver is the kind of
+ * binary CI scripts and soak farms call with machine-built argument
+ * lists, where a typo silently ignored means a nightly run fuzzing
+ * the wrong thing. This parser is strict: unknown flags, missing
+ * values and malformed numbers all produce a diagnostic plus usage
+ * text and exit code 2 (usage error, distinct from exit 1 = failures
+ * found). It is a pure function of argv — no process exit, no
+ * logging — so tests drive it in-process.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xmig {
+
+/** Everything the xmig_fuzz driver can be asked to do. */
+struct FuzzCliOptions
+{
+    enum class Mode : uint8_t
+    {
+        Campaign, ///< uniform campaign (PR 5 behavior)
+        Guided,   ///< coverage-guided campaign (--guided)
+        Soak,     ///< standing soak with persisted corpus (--soak)
+        Replay,   ///< one case, every oracle verdict (--replay)
+        SelfTest, ///< minimizer pipeline proof (--self-test)
+    };
+    Mode mode = Mode::Campaign;
+
+    uint64_t seed = 1;
+    uint64_t plans = 200;         ///< campaign case count
+    uint64_t budget = 512;        ///< soak case budget (--budget)
+    uint64_t batch = 16;          ///< guided/soak batch size
+    unsigned jobs = 0;            ///< 0 = hardware concurrency
+    uint64_t instructions = 0;    ///< 0 = mode default
+    bool smoke = false;
+    std::string benchmark;        ///< empty = harness default
+    std::string reproDir;
+    std::string corpusDir;        ///< soak corpus (--corpus)
+    bool minimize = true;
+    bool journal = true;          ///< soak journal re-runs
+    bool stormWorkloads = false;  ///< pair the adversarial pool in
+    bool verbose = false;
+
+    std::string replayPlan;
+    uint64_t workloadSeed = 42;
+};
+
+/** Outcome of parsing one argv. */
+struct FuzzCliParse
+{
+    FuzzCliOptions options;
+
+    /**
+     * -1: proceed with `options`. 0: --help was asked — print usage,
+     * exit 0. 2: usage error — print `error` and usage, exit 2.
+     */
+    int exitCode = -1;
+
+    std::string error; ///< diagnostic for exitCode == 2
+};
+
+/** The usage text (also printed on --help). */
+const char *fuzzCliUsage();
+
+/** Parse argv strictly; never exits, never logs. */
+FuzzCliParse parseFuzzCli(int argc, const char *const *argv);
+
+} // namespace xmig

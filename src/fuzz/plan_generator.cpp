@@ -90,6 +90,58 @@ PlanGenerator::sampleRate()
     return rate;
 }
 
+double
+PlanGenerator::sampleHotRate()
+{
+    // Log-uniform over [1e-3, 1e-1]: dense enough to fire many times
+    // within one fuzz case's reference budget, sparse enough not to
+    // destroy every single migration. Multiplies only, like
+    // sampleRate(), for bit-stability.
+    const uint64_t decade = rng_.inRange(2, 3);
+    double rate = 1.0 + 9.0 * rng_.uniform();
+    for (uint64_t i = 0; i < decade; ++i)
+        rate *= 0.1;
+    return rate;
+}
+
+std::string
+PlanGenerator::statementFor(FaultSite site, uint64_t &tick_io, bool hot)
+{
+    std::string event;
+    switch (site) {
+      case FaultSite::Ae:       event = "flip=ae"; break;
+      case FaultSite::Delta:    event = "flip=delta"; break;
+      case FaultSite::Ar:       event = "flip=ar"; break;
+      case FaultSite::OeEntry:  event = "flip=oe"; break;
+      case FaultSite::CacheTag: event = "flip=tag"; break;
+      case FaultSite::MigDrop:  event = "mig_drop"; break;
+      case FaultSite::MigDelay:
+        event = "mig_delay=" + std::to_string(rng_.inRange(1, 64));
+        break;
+      case FaultSite::BusDrop:  event = "bus_drop"; break;
+      case FaultSite::CoreOff:
+      case FaultSite::CoreOn: {
+        const unsigned core =
+            static_cast<unsigned>(rng_.below(config_.cores));
+        const char *dir =
+            site == FaultSite::CoreOff ? "core_off" : "core_on";
+        const uint64_t tick =
+            hot ? rng_.below(config_.tickHorizon / 2 + 1)
+                : sampleTick(tick_io);
+        tick_io = tick;
+        return "at=" + std::to_string(tick) + ':' + dir + '=' +
+               std::to_string(core);
+      }
+    }
+    if (rng_.chance(hot ? 0.4 : 0.5)) {
+        tick_io = hot ? rng_.below(config_.tickHorizon / 2 + 1)
+                      : sampleTick(tick_io);
+        return "at=" + std::to_string(tick_io) + ':' + event;
+    }
+    const double rate = hot ? sampleHotRate() : sampleRate();
+    return "rate=" + formatRateShort(rate) + ':' + event;
+}
+
 std::string
 PlanGenerator::sampleFlipOrFabric(bool &scheduled_out, uint64_t &tick_io)
 {

@@ -78,14 +78,34 @@ class PlanGenerator
     /** Sample the next plan. */
     FuzzPlan next();
 
+    /**
+     * Sample one statement targeting `site` (xmig-storm guidance:
+     * the coverage-guided generator composes plans site by site
+     * instead of taking the uniform site mix of next()). `tick_io`
+     * carries the running tick so scheduled statements of one plan
+     * stay loosely ordered. With `hot` set, values are drawn from
+     * the ranges that actually fire within a fuzz case's horizon —
+     * rates in [1e-3, 1e-1] and ticks in the first half of the
+     * horizon — instead of the boundary-biased full ranges.
+     */
+    std::string statementFor(FaultSite site, uint64_t &tick_io,
+                             bool hot = false);
+
+    /**
+     * Append a core-churn statement (usually an off/on pair; see
+     * next()'s churn shapes) — public so the guided generator can
+     * reuse the tested rejoin boundary shapes.
+     */
+    void appendChurn(std::vector<std::string> &out, uint64_t &tick_io);
+
     const GeneratorConfig &config() const { return config_; }
 
   private:
     uint64_t sampleTick(uint64_t previous_tick);
     double sampleRate();
+    double sampleHotRate();
     std::string sampleFlipOrFabric(bool &scheduled_out,
                                    uint64_t &tick_io);
-    void appendChurn(std::vector<std::string> &out, uint64_t &tick_io);
 
     GeneratorConfig config_;
     Rng rng_;

@@ -132,6 +132,7 @@ PropertyHarness::run(const FuzzCase &c) const
     result.migrations = a.stats().migrations;
     if (const FaultInjector *inj = a.injector())
         result.faultsInjected = inj->stats().total();
+    result.coverage = collectCoverage(a);
 
     // Oracle: replay. Same (workload seed, plan) => same machine.
     {

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "fuzz/coverage.hpp"
 
 namespace xmig {
 
@@ -73,6 +74,12 @@ struct CaseResult
     uint64_t refs = 0;
     uint64_t migrations = 0;
     uint64_t faultsInjected = 0;
+
+    /**
+     * The primary run's coverage surface (fuzz/coverage.hpp),
+     * name-sorted — what the xmig-storm guidance loop folds back.
+     */
+    std::vector<CoveragePoint> coverage;
 
     bool failed() const { return !failures.empty(); }
 };

@@ -159,6 +159,30 @@ MetricsRegistry::value(const std::string &path) const
     return read(entries_[it->second]);
 }
 
+std::optional<uint64_t>
+MetricsRegistry::counterValue(const std::string &path) const
+{
+    auto it = index_.find(path);
+    if (it == index_.end())
+        return std::nullopt;
+    const Entry &e = entries_[it->second];
+    if (e.kind != MetricKind::Counter)
+        return std::nullopt;
+    return *e.counter;
+}
+
+std::vector<MetricsRegistry::CounterSample>
+MetricsRegistry::counterSnapshot() const
+{
+    std::vector<CounterSample> out;
+    for (const size_t i : sortedOrder()) {
+        const Entry &e = entries_[i];
+        if (e.kind == MetricKind::Counter)
+            out.push_back({e.name, *e.counter});
+    }
+    return out;
+}
+
 std::vector<size_t>
 MetricsRegistry::sortedOrder() const
 {

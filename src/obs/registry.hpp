@@ -129,6 +129,31 @@ class MetricsRegistry
      */
     std::optional<double> value(const std::string &path) const;
 
+    /**
+     * Exact read of the *counter* at `path` (xmig-storm coverage
+     * maps need lossless uint64 values, not the double that value()
+     * reports). std::nullopt if `path` is missing or not a counter.
+     */
+    std::optional<uint64_t> counterValue(const std::string &path) const;
+
+    /** One (name, value) pair of counterSnapshot(). */
+    struct CounterSample
+    {
+        std::string name;
+        uint64_t value = 0;
+
+        bool operator==(const CounterSample &) const = default;
+    };
+
+    /**
+     * Ordered snapshot of every registered *counter*: name-sorted
+     * (the renderJsonl order), values read exactly. This is the
+     * programmatic read-back surface — consumers such as the
+     * xmig-storm coverage map use it instead of re-parsing their own
+     * JSONL export.
+     */
+    std::vector<CounterSample> counterSnapshot() const;
+
     /** Number of registered metrics. */
     size_t size() const { return entries_.size(); }
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * xmig-storm adversarial kernels: reference streams built to hurt the
+ * affinity algorithm, not to model a benchmark.
+ *
+ * The 18 Table-1 kernels reproduce behaviors the paper measured;
+ * these three are the opposite — synthetic worst cases aimed at the
+ * exact mechanisms of sections 3.2-3.5, so the fuzzer can pair fault
+ * plans with workloads that keep the controller's decision machinery
+ * (and therefore its recovery paths) under maximum pressure:
+ *
+ *  - storm.unsplit: a uniform-random working set sized to *straddle*
+ *    the 2-way split — bigger than one core's L2, small enough that
+ *    the splitter keeps seeing plausible-looking affinity swings. No
+ *    stable partition exists, so every transition the filter lets
+ *    through is wasted work (the paper's vpr/gzip pathology, scaled
+ *    past the single-L2 capacity so migration activity stays high).
+ *
+ *  - storm.phase: two disjoint working sets visited in alternating
+ *    phases, with the phase length chosen against the transition
+ *    filter's hysteresis: long enough for the filter to commit to the
+ *    new subset, short enough that it never enjoys the stable plateau
+ *    a real program phase provides. The machine migrates near its
+ *    maximum sustainable rate — a migration storm.
+ *
+ *  - storm.thrash: fine-grained bursts alternating between two
+ *    halves, so the per-window affinity A_R hovers around zero and
+ *    the filter dithers at its threshold instead of saturating —
+ *    maximum filter updates and marginal transition decisions.
+ *
+ * They register under the "xmig-storm" suite, deliberately outside
+ * allWorkloadNames(): Table-1 sweeps and paper-facing tools keep
+ * their 18-benchmark universe, while the fuzzer opts in via
+ * adversarialWorkloadNames().
+ */
+
+#include "workloads/kernels.hpp"
+
+namespace xmig {
+
+namespace {
+
+/**
+ * storm.unsplit: ~768 KB referenced uniformly at random. One core's
+ * L2 holds 512 KB, a 2-way split holds 1 MB: the set fits the split
+ * but not a single cache, and has no structure the splitter could
+ * exploit.
+ */
+class UnsplitKernel : public Workload
+{
+  public:
+    UnsplitKernel()
+    {
+        Arena arena;
+        set_ = ArenaArray::make(arena, kBytes / 8, 8);
+        info_ = {"storm.unsplit", "xmig-storm",
+                 "uniform-random refs in ~768 KB straddling the "
+                 "2-way split"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 8 * 1024;
+        c.loopProb = 0.8;
+        c.seed = 901;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        while (!ctx.done()) {
+            const uint64_t i = ctx.rng().below(set_.count);
+            if (ctx.rng().below(8) == 0)
+                ctx.store(set_.at(i));
+            else
+                ctx.load(set_.at(i));
+            ctx.op(2);
+        }
+    }
+
+  private:
+    static constexpr uint64_t kBytes = 768 * 1024;
+    ArenaArray set_;
+    WorkloadInfo info_;
+};
+
+/**
+ * storm.phase: alternate between two disjoint ~256 KB sets every
+ * 4096 instructions. Each set alone is cacheable and internally
+ * local (sequential walk with small random excursions), so the
+ * affinity engine builds a crisp partition — which the next phase
+ * change immediately invalidates. The phase length sits on the
+ * resonance of the default transition-filter hysteresis (measured:
+ * ~18x the migration rate of a 8192-instruction phase and ~20x a
+ * 2048-instruction one on the default machine), i.e. the filter
+ * commits to each phase just in time for the next flip.
+ */
+class PhaseStormKernel : public Workload
+{
+  public:
+    PhaseStormKernel()
+    {
+        Arena arena;
+        setA_ = ArenaArray::make(arena, kBytes / 8, 8);
+        setB_ = ArenaArray::make(arena, kBytes / 8, 8);
+        info_ = {"storm.phase", "xmig-storm",
+                 "phase-change storm: two disjoint ~256 KB sets, "
+                 "phases timed against the filter hysteresis"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 8 * 1024;
+        c.loopProb = 0.8;
+        c.seed = 902;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        bool phase_a = true;
+        uint64_t cursor = 0;
+        while (!ctx.done()) {
+            const ArenaArray &set = phase_a ? setA_ : setB_;
+            const uint64_t start = ctx.instructions();
+            while (!ctx.done() &&
+                   ctx.instructions() - start < kPhaseInstructions) {
+                // Mostly a sequential sweep (prefetch-friendly, so
+                // the post-L1 stream is dominated by the phase's set
+                // identity), with a random excursion mixed in.
+                ctx.load(set.at(cursor % set.count));
+                cursor += 8; // one line per step (64 B / 8 B elems)
+                if (ctx.rng().below(4) == 0)
+                    ctx.load(set.at(ctx.rng().below(set.count)));
+                if (ctx.rng().below(16) == 0)
+                    ctx.store(set.at(cursor % set.count));
+                ctx.op(2);
+            }
+            phase_a = !phase_a;
+        }
+    }
+
+  private:
+    static constexpr uint64_t kBytes = 256 * 1024;
+    static constexpr uint64_t kPhaseInstructions = 4096;
+    ArenaArray setA_;
+    ArenaArray setB_;
+    WorkloadInfo info_;
+};
+
+/**
+ * storm.thrash: bursts of ~48 references ping-ponging between two
+ * ~128 KB halves. The burst is far shorter than any filter
+ * commitment, so the window affinity A_R keeps crossing zero and the
+ * transition filter hovers at its threshold instead of saturating.
+ */
+class ArThrashKernel : public Workload
+{
+  public:
+    ArThrashKernel()
+    {
+        Arena arena;
+        halfA_ = ArenaArray::make(arena, kBytes / 8, 8);
+        halfB_ = ArenaArray::make(arena, kBytes / 8, 8);
+        info_ = {"storm.thrash", "xmig-storm",
+                 "A_R thrash: short bursts alternating two ~128 KB "
+                 "halves, hovering the filter at its threshold"};
+    }
+
+    const WorkloadInfo &info() const override { return info_; }
+
+    CodeWalkerConfig
+    codeConfig() const override
+    {
+        CodeWalkerConfig c;
+        c.codeBytes = 8 * 1024;
+        c.loopProb = 0.8;
+        c.seed = 903;
+        return c;
+    }
+
+  protected:
+    void
+    execute(EmitCtx &ctx) override
+    {
+        bool in_a = true;
+        while (!ctx.done()) {
+            const ArenaArray &half = in_a ? halfA_ : halfB_;
+            for (unsigned i = 0; i < kBurstRefs && !ctx.done(); ++i) {
+                const uint64_t j = ctx.rng().below(half.count);
+                if (ctx.rng().below(10) == 0)
+                    ctx.store(half.at(j));
+                else
+                    ctx.load(half.at(j));
+                ctx.op(1);
+            }
+            in_a = !in_a;
+        }
+    }
+
+  private:
+    static constexpr uint64_t kBytes = 128 * 1024;
+    static constexpr unsigned kBurstRefs = 48;
+    ArenaArray halfA_;
+    ArenaArray halfB_;
+    WorkloadInfo info_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStormUnsplit()
+{
+    return std::make_unique<UnsplitKernel>();
+}
+
+std::unique_ptr<Workload>
+makeStormPhase()
+{
+    return std::make_unique<PhaseStormKernel>();
+}
+
+std::unique_ptr<Workload>
+makeStormThrash()
+{
+    return std::make_unique<ArThrashKernel>();
+}
+
+} // namespace xmig

@@ -35,4 +35,10 @@ std::unique_ptr<Workload> makeEm3d();
 std::unique_ptr<Workload> makeHealth();
 std::unique_ptr<Workload> makeMst();
 
+// xmig-storm adversarial kernels (adversarial.cpp) — outside the
+// Table-1 set; see adversarialWorkloadNames() in registry.hpp.
+std::unique_ptr<Workload> makeStormUnsplit();
+std::unique_ptr<Workload> makeStormPhase();
+std::unique_ptr<Workload> makeStormThrash();
+
 } // namespace xmig

@@ -38,6 +38,16 @@ const RegistryEntry kRegistry[] = {
     {"mst", "Olden", makeMst},
 };
 
+/**
+ * xmig-storm adversarial kernels, outside the Table-1 array so that
+ * allWorkloadNames() keeps the paper's 18-benchmark universe.
+ */
+const RegistryEntry kAdversarial[] = {
+    {"storm.unsplit", "xmig-storm", makeStormUnsplit},
+    {"storm.phase", "xmig-storm", makeStormPhase},
+    {"storm.thrash", "xmig-storm", makeStormThrash},
+};
+
 /** Strip the "NNN." SPEC number prefix if present. */
 std::string
 shortName(const std::string &name)
@@ -92,11 +102,27 @@ oldenWorkloadNames()
     return names;
 }
 
+const std::vector<std::string> &
+adversarialWorkloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &e : kAdversarial)
+            v.emplace_back(e.name);
+        return v;
+    }();
+    return names;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
     for (const auto &e : kRegistry) {
         if (name == e.name || shortName(name) == shortName(e.name))
+            return e.factory();
+    }
+    for (const auto &e : kAdversarial) {
+        if (name == e.name)
             return e.factory();
     }
     XMIG_FATAL("unknown workload '%s'", name.c_str());

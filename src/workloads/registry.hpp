@@ -23,6 +23,14 @@ const std::vector<std::string> &specWorkloadNames();
 const std::vector<std::string> &oldenWorkloadNames();
 
 /**
+ * Names of the xmig-storm adversarial kernels (suite "xmig-storm").
+ * Deliberately *not* part of allWorkloadNames(): Table-1 sweeps keep
+ * the paper's 18-benchmark universe; the fuzzer and targeted tests
+ * opt in explicitly.
+ */
+const std::vector<std::string> &adversarialWorkloadNames();
+
+/**
  * Instantiate a kernel by name (e.g. "181.mcf" or "mcf"; suite
  * prefixes are optional). Fatal error on unknown names.
  */

@@ -95,6 +95,52 @@ TEST(Registry, RegistersAndReadsEveryKind)
     EXPECT_EQ(r.value("m.missing"), std::nullopt);
 }
 
+TEST(Registry, CounterValueIsExactAndCounterOnly)
+{
+    MetricsRegistry r;
+    // A value a double cannot hold exactly: 2^53 + 1.
+    uint64_t big = (uint64_t{1} << 53) + 1;
+    uint64_t small = 3;
+    Histogram h;
+    EXPECT_TRUE(r.addCounter("m.big", &big));
+    EXPECT_TRUE(r.addCounter("m.small", &small));
+    EXPECT_TRUE(r.addGauge("m.gauge", [] { return 1.0; }));
+    EXPECT_TRUE(r.addHistogram("m.hist", &h));
+
+    EXPECT_EQ(r.counterValue("m.big"), (uint64_t{1} << 53) + 1);
+    EXPECT_EQ(r.counterValue("m.small"), 3u);
+    small = 4; // live pointer, not a copy
+    EXPECT_EQ(r.counterValue("m.small"), 4u);
+
+    // Non-counters and unknown paths read back as nullopt, never 0.
+    EXPECT_EQ(r.counterValue("m.gauge"), std::nullopt);
+    EXPECT_EQ(r.counterValue("m.hist"), std::nullopt);
+    EXPECT_EQ(r.counterValue("m.missing"), std::nullopt);
+}
+
+TEST(Registry, CounterSnapshotIsNameSortedCountersOnly)
+{
+    MetricsRegistry r;
+    uint64_t z = 26, a = 1, m = 13;
+    Histogram h;
+    EXPECT_TRUE(r.addCounter("zulu", &z));
+    EXPECT_TRUE(r.addGauge("golf", [] { return 7.0; }));
+    EXPECT_TRUE(r.addCounter("alpha", &a));
+    EXPECT_TRUE(r.addHistogram("hotel", &h));
+    EXPECT_TRUE(r.addCounter("mike", &m));
+
+    const auto snap = r.counterSnapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0], (MetricsRegistry::CounterSample{"alpha", 1}));
+    EXPECT_EQ(snap[1], (MetricsRegistry::CounterSample{"mike", 13}));
+    EXPECT_EQ(snap[2], (MetricsRegistry::CounterSample{"zulu", 26}));
+
+    // The snapshot is a copy taken at call time.
+    m = 99;
+    EXPECT_EQ(snap[1].value, 13u);
+    EXPECT_EQ(r.counterSnapshot()[1].value, 99u);
+}
+
 TEST(Registry, DuplicatePathsAreRefusedNotAliased)
 {
     MetricsRegistry r;

@@ -1,15 +1,29 @@
 /**
  * @file
- * xmig_fuzz: the xmig-forge campaign driver (docs/robustness.md §7).
+ * xmig_fuzz: the xmig-forge/xmig-storm fuzzing driver
+ * (docs/robustness.md §7-§8).
  *
  * Modes:
  *
  *   campaign (default)
  *     xmig_fuzz --seed S --plans N --jobs J [--repro-dir DIR]
  *               [--no-minimize] [--bench NAME] [--instr I]
- *     Runs an N-plan campaign. The summary on stdout and any repro
- *     files are byte-identical for fixed (S, N) at any J. Exit 1 if
- *     any failure survives.
+ *     Runs an N-plan uniform campaign. The summary on stdout and any
+ *     repro files are byte-identical for fixed (S, N) at any J.
+ *     Exit 1 if any failure survives.
+ *
+ *   guided
+ *     xmig_fuzz --guided [--storm-workloads] [--batch B] [...]
+ *     Same, but the cases come from the coverage-guided generator:
+ *     each batch's recovery/injection counters bias the next batch
+ *     toward unlit counters. Still byte-stable at any --jobs.
+ *
+ *   soak
+ *     xmig_fuzz --soak --corpus DIR --budget N [--repro-dir DIR]
+ *     Standing guided campaign: replays the persisted corpus, spends
+ *     the rest of the budget on guided batches, persists every
+ *     coverage-novel case content-addressed, minimizes every failure
+ *     and attaches an xmig-lens journal to its repro.
  *
  *   replay
  *     xmig_fuzz --replay 'PLAN' [--workload-seed W] [--bench NAME]
@@ -21,79 +35,46 @@
  *     xmig_fuzz --self-test [--repro-dir DIR]
  *     Arms the deliberately broken test-only oracle, verifies a
  *     known-bad plan trips it, and proves the minimizer pipeline
- *     reduces it to <= 3 statements, twice, identically. Exit 0 iff
- *     the whole pipeline fired.
+ *     reduces it to <= 3 statements, twice, identically.
  *
- * BenchOptions flags (--seed, --jobs, --instr, --bench, --smoke)
- * keep their usual meaning; --seed is the *campaign* seed.
+ * Unknown flags and malformed values print usage and exit 2 (see
+ * fuzz/fuzz_cli.hpp); exit 1 means the fuzzer found real failures.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "fuzz/campaign.hpp"
-#include "sim/options.hpp"
+#include "fuzz/fuzz_cli.hpp"
+#include "fuzz/soak.hpp"
 #include "sim/runner/job_pool.hpp"
 #include "sim/runner/sweep.hpp"
+#include "workloads/registry.hpp"
 
 using namespace xmig;
 
 namespace {
 
-struct FuzzCli
+/**
+ * The guided workload pool: the adversarial xmig-storm family plus
+ * the case's base benchmark, in fixed order (determinism).
+ */
+std::vector<std::string>
+stormPool(const std::string &benchmark)
 {
-    uint64_t plans = 200;
-    std::string reproDir;
-    bool minimize = true;
-    bool selfTest = false;
-    bool verbose = false;
-    bool hasReplay = false;
-    std::string replayPlan;
-    uint64_t workloadSeed = 42;
-    bool instrExplicit = false;
-};
-
-FuzzCli
-parseFuzzFlags(int argc, char **argv)
-{
-    // BenchOptions::parse already walked argv and ignored these; this
-    // pass picks up the fuzz-only flags.
-    FuzzCli cli;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : "";
-        };
-        if (arg == "--plans")
-            cli.plans = BenchOptions::parseCount("--plans", next());
-        else if (arg == "--repro-dir")
-            cli.reproDir = next();
-        else if (arg == "--no-minimize")
-            cli.minimize = false;
-        else if (arg == "--self-test")
-            cli.selfTest = true;
-        else if (arg == "--verbose")
-            cli.verbose = true;
-        else if (arg == "--replay") {
-            cli.hasReplay = true;
-            cli.replayPlan = next();
-        } else if (arg == "--workload-seed")
-            cli.workloadSeed =
-                BenchOptions::parseCount("--workload-seed", next());
-        else if (arg == "--instr")
-            cli.instrExplicit = true;
-    }
-    return cli;
+    std::vector<std::string> pool = adversarialWorkloadNames();
+    pool.push_back(benchmark);
+    return pool;
 }
 
 int
-replayMode(const FuzzCli &cli, const BenchOptions &opt,
-           uint64_t instructions)
+replayMode(const FuzzCliOptions &cli, uint64_t instructions)
 {
     FuzzCase c;
     c.plan = cli.replayPlan;
-    c.benchmark = opt.benchmarks.empty() ? "181.mcf"
-                                         : opt.benchmarks.front();
+    if (!cli.benchmark.empty())
+        c.benchmark = cli.benchmark;
     c.workloadSeed = cli.workloadSeed;
     c.instructions = instructions;
 
@@ -114,7 +95,7 @@ replayMode(const FuzzCli &cli, const BenchOptions &opt,
 }
 
 int
-selfTestMode(const FuzzCli &cli, uint64_t instructions)
+selfTestMode(const FuzzCliOptions &cli, uint64_t instructions)
 {
     // A known-bad plan for the broken oracle (it targets both
     // core_off and bus_drop), padded with statements the minimizer
@@ -207,32 +188,40 @@ selfTestMode(const FuzzCli &cli, uint64_t instructions)
 int
 main(int argc, char **argv)
 {
-    const BenchOptions opt = BenchOptions::parse(argc, argv);
-    const FuzzCli cli = parseFuzzFlags(argc, argv);
+    const FuzzCliParse parse = parseFuzzCli(argc, argv);
+    if (parse.exitCode == 0) {
+        std::fputs(fuzzCliUsage(), stdout);
+        return 0;
+    }
+    if (parse.exitCode > 0) {
+        std::fprintf(stderr, "xmig_fuzz: %s\n\n%s",
+                     parse.error.c_str(), fuzzCliUsage());
+        return parse.exitCode;
+    }
+    const FuzzCliOptions &cli = parse.options;
 
     // Fuzz cases are short by design (thousands of plans beat one
-    // long run); the BenchOptions 2e7 default is for full benchmark
-    // sweeps, so default to 150k unless --instr was given.
+    // long run); default to 150k instructions unless --instr given.
     const uint64_t instructions =
-        cli.instrExplicit ? opt.instructions
-                          : (opt.smoke ? 60'000 : 150'000);
+        cli.instructions != 0 ? cli.instructions
+                              : (cli.smoke ? 60'000 : 150'000);
 
-    if (cli.hasReplay)
-        return replayMode(cli, opt, instructions);
-    if (cli.selfTest)
+    if (cli.mode == FuzzCliOptions::Mode::Replay)
+        return replayMode(cli, instructions);
+    if (cli.mode == FuzzCliOptions::Mode::SelfTest)
         return selfTestMode(cli, instructions);
 
     CampaignConfig config;
-    config.seed = opt.seed;
-    config.plans = opt.smoke && cli.plans == 200 ? 50 : cli.plans;
+    config.seed = cli.seed;
+    config.plans = cli.smoke && cli.plans == 200 ? 50 : cli.plans;
     config.instructions = instructions;
     config.minimize = cli.minimize;
     config.reproDir = cli.reproDir;
-    if (!opt.benchmarks.empty())
-        config.benchmark = opt.benchmarks.front();
+    if (!cli.benchmark.empty())
+        config.benchmark = cli.benchmark;
 
     const PropertyHarness harness;
-    const JobPool pool(opt.jobs);
+    const JobPool pool(cli.jobs);
     if (cli.verbose)
         std::fprintf(stderr,
                      "xmig_fuzz: seed=%llu plans=%llu jobs=%u "
@@ -241,7 +230,30 @@ main(int argc, char **argv)
                      (unsigned long long)config.plans, pool.jobs(),
                      (unsigned long long)config.instructions);
 
-    const CampaignResult result = runCampaign(config, harness, pool);
+    if (cli.mode == FuzzCliOptions::Mode::Soak) {
+        SoakConfig sc;
+        sc.campaign = config;
+        sc.budget = cli.smoke && cli.budget == 512 ? 64 : cli.budget;
+        sc.batch = cli.batch;
+        sc.corpusDir = cli.corpusDir;
+        sc.journal = cli.journal;
+        if (cli.stormWorkloads)
+            sc.guided.workloadPool = stormPool(config.benchmark);
+        const SoakResult result = runSoak(sc, harness, pool);
+        flushAtomically(result.summary(), stdout);
+        return result.failures.empty() ? 0 : 1;
+    }
+
+    CampaignResult result;
+    if (cli.mode == FuzzCliOptions::Mode::Guided) {
+        GuidedConfig guided;
+        if (cli.stormWorkloads)
+            guided.workloadPool = stormPool(config.benchmark);
+        result = runGuidedCampaign(config, guided, harness, pool,
+                                   cli.batch);
+    } else {
+        result = runCampaign(config, harness, pool);
+    }
     flushAtomically(result.summary(), stdout);
     return result.failures.empty() ? 0 : 1;
 }
