@@ -12,10 +12,14 @@
  *     doubling until the cell count (6) or the core count binds.
  *
  *  2. Hot-path ns/reference — single-thread microloops over the
- *     per-reference kernels (AffinityEngine::reference with FIFO and
- *     distinct-LRU windows, MigrationMachine::access on a recorded
- *     179.art stream). These move with the per-reference overhaul,
- *     not with the runner.
+ *     per-reference kernels: AffinityEngine::reference with FIFO and
+ *     distinct-LRU windows, the affinity-cache probe/update loop in
+ *     both layouts (virtual AoS store vs devirtualized SoA store),
+ *     and MigrationMachine on a recorded 179.art stream both
+ *     per-reference (access) and batched (accessBatch, K = 64, the
+ *     xmig-bolt pipeline). These move with the per-reference
+ *     overhaul, not with the runner. The headline gate number is the
+ *     *batched* machine kernel — that is the path the sweep runs.
  *
  * Results go to stdout, to --csv F (one row per measurement), and to
  * --json F as BENCH_swift.json: a machine-readable baseline a CI job
@@ -31,12 +35,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/oe_store.hpp"
+#include "core/soa_oe_store.hpp"
 #include "multicore/machine.hpp"
 #include "sim/options.hpp"
 #include "sim/quadcore.hpp"
@@ -110,6 +116,10 @@ engineLoopNs(WindowKind window, uint64_t iters)
     AffinityEngine engine(ec, store);
     CircularStream stream(4000);
     int64_t sink = 0;
+    // Untimed warm-up: fill the R-window and the O_e map so the
+    // measured loop is steady-state at any --smoke budget.
+    for (uint64_t i = 0; i < 8'000; ++i)
+        sink += engine.reference(stream.next()).ae;
     const double t0 = now();
     for (uint64_t i = 0; i < iters; ++i)
         sink += engine.reference(stream.next()).ae;
@@ -120,18 +130,96 @@ engineLoopNs(WindowKind window, uint64_t iters)
     return dt / static_cast<double>(iters) * 1e9;
 }
 
+/**
+ * Affinity-cache probe/update loop, isolated from the engine: the
+ * access pattern is a circular sweep wider than the cache, so every
+ * iteration probes and every fourth updates (forcing evictions). The
+ * AoS arm goes through the OeStore interface exactly as the scalar
+ * engine does; the SoA arm uses the devirtualized *Fast entry points
+ * the batched engine uses. Identical streams, so the delta is the
+ * layout + dispatch cost alone.
+ */
 double
-machineLoopNs(uint64_t iters)
+probeLoopNs(bool soa, uint64_t iters)
+{
+    AffinityCacheConfig ac; // the section 4.2 default: 8k, 4-way
+    std::unique_ptr<OeStore> aosStore;
+    std::unique_ptr<SoaAffinityStore> soaStore;
+    OeStore *vstore = nullptr;
+    if (soa)
+        soaStore = std::make_unique<SoaAffinityStore>(ac);
+    else
+        vstore = (aosStore = std::make_unique<AffinityCacheStore>(ac))
+                     .get();
+    // Prime, ~3/4 of the entry count: the sweep mostly hits (the
+    // affinity cache's operating regime), with enough conflict misses
+    // in the skewed banks to keep the install path warm.
+    const uint64_t span = 6'151;
+    int64_t sink = 0;
+    uint64_t line = 0;
+    // Untimed warm-up: two full sweeps install the working set so the
+    // measured loop starts in the mostly-hit regime.
+    for (uint64_t i = 0; i < 2 * span; ++i) {
+        line = line + 1 == span ? 0 : line + 1;
+        if (soa)
+            sink += soaStore->lookupFast(line, 3);
+        else
+            sink += vstore->lookup(line, 3);
+    }
+    const double t0 = now();
+    for (uint64_t i = 0; i < iters; ++i) {
+        line = line + 1 == span ? 0 : line + 1;
+        if (soa) {
+            sink += soaStore->lookupFast(line, 3);
+            if ((i & 3) == 0)
+                soaStore->storeFast(line ^ 0x1555, sink & 0xff);
+        } else {
+            sink += vstore->lookup(line, 3);
+            if ((i & 3) == 0)
+                vstore->store(line ^ 0x1555, sink & 0xff);
+        }
+    }
+    const double dt = now() - t0;
+    if (sink == 0x7eadbeef)
+        std::fprintf(stderr, "#");
+    return dt / static_cast<double>(iters) * 1e9;
+}
+
+/** Machine kernel over a recorded 179.art stream. With `batched`,
+ *  references go through accessBatch() in K = 64 chunks — the path
+ *  the quad-core sweep feeds — otherwise one access() per reference
+ *  (the pre-bolt baseline, kept to track the amortization win). */
+double
+machineLoopNs(uint64_t iters, bool batched)
 {
     MachineConfig mc;
     MigrationMachine machine(mc);
     RefRecorder recorder;
     makeWorkload("179.art")->run(recorder, 200'000, 42);
+    const std::vector<MemRef> &refs = recorder.refs();
+    // Untimed warm-up: one full pass fills the L1s/L2s and the
+    // affinity cache, so the cold-fill transient does not dominate
+    // short --smoke budgets.
+    for (const MemRef &ref : refs)
+        machine.access(ref);
     size_t i = 0;
     const double t0 = now();
-    for (uint64_t n = 0; n < iters; ++n) {
-        machine.access(recorder.refs()[i]);
-        i = (i + 1) % recorder.refs().size();
+    if (batched) {
+        for (uint64_t left = iters; left > 0;) {
+            size_t k = MigrationMachine::kBatchRefs;
+            if (left < k)
+                k = static_cast<size_t>(left);
+            if (refs.size() - i < k)
+                k = refs.size() - i;
+            machine.accessBatch(refs.data() + i, k);
+            i = (i + k) % refs.size();
+            left -= k;
+        }
+    } else {
+        for (uint64_t n = 0; n < iters; ++n) {
+            machine.access(refs[i]);
+            i = (i + 1) % refs.size();
+        }
     }
     const double dt = now() - t0;
     return dt / static_cast<double>(iters) * 1e9;
@@ -204,13 +292,21 @@ main(int argc, char **argv)
     const double fifo_ns = engineLoopNs(WindowKind::Fifo, micro_iters);
     const double lru_ns =
         engineLoopNs(WindowKind::DistinctLru, micro_iters);
-    const double machine_ns = machineLoopNs(micro_iters);
+    const double probe_aos_ns = probeLoopNs(false, micro_iters);
+    const double probe_soa_ns = probeLoopNs(true, micro_iters);
+    const double machine_ns = machineLoopNs(micro_iters, true);
+    const double machine_scalar_ns = machineLoopNs(micro_iters, false);
     out += "\n";
     AsciiTable micro({"kernel", "ns/reference"});
     micro.addRow({"AffinityEngine FIFO/Exact", fmt("%.1f", fifo_ns)});
     micro.addRow(
         {"AffinityEngine DistinctLru/Exact", fmt("%.1f", lru_ns)});
-    micro.addRow({"MigrationMachine 179.art", fmt("%.1f", machine_ns)});
+    micro.addRow({"AffinityCache probe AoS", fmt("%.1f", probe_aos_ns)});
+    micro.addRow({"AffinityCache probe SoA", fmt("%.1f", probe_soa_ns)});
+    micro.addRow({"MigrationMachine 179.art (K=64)",
+                  fmt("%.1f", machine_ns)});
+    micro.addRow({"MigrationMachine 179.art (scalar)",
+                  fmt("%.1f", machine_scalar_ns)});
     out += micro.render("Per-reference hot path (single thread)");
 
     if (!all_identical)
@@ -226,7 +322,13 @@ main(int argc, char **argv)
                              dt);
             std::fprintf(f, "engine_fifo_ns_per_ref,%.2f\n", fifo_ns);
             std::fprintf(f, "engine_lru_ns_per_ref,%.2f\n", lru_ns);
+            std::fprintf(f, "affinity_probe_aos_ns,%.2f\n",
+                         probe_aos_ns);
+            std::fprintf(f, "affinity_probe_soa_ns,%.2f\n",
+                         probe_soa_ns);
             std::fprintf(f, "machine_ns_per_ref,%.2f\n", machine_ns);
+            std::fprintf(f, "machine_scalar_ns_per_ref,%.2f\n",
+                         machine_scalar_ns);
             std::fclose(f);
         } else {
             std::fprintf(stderr, "warning: cannot write %s\n",
@@ -245,6 +347,7 @@ main(int argc, char **argv)
                          "  \"compiler\": \"%s\",\n"
                          "  \"sweep_cells\": %zu,\n"
                          "  \"instructions_per_cell\": %llu,\n"
+                         "  \"batch_size\": %zu,\n"
                          "  \"output_identical_across_jobs\": %s,\n"
                          "  \"sweep_wall_s\": {",
                          cores,
@@ -255,6 +358,7 @@ main(int argc, char **argv)
 #endif
                          kBenches.size(),
                          (unsigned long long)instr,
+                         MigrationMachine::kBatchRefs,
                          all_identical ? "true" : "false");
             for (size_t i = 0; i < sweep_times.size(); ++i)
                 std::fprintf(f, "%s\"%u\": %.4f",
@@ -265,10 +369,15 @@ main(int argc, char **argv)
                          "  \"ns_per_reference\": {\n"
                          "    \"engine_fifo_exact\": %.2f,\n"
                          "    \"engine_distinctlru_exact\": %.2f,\n"
-                         "    \"migration_machine_179art\": %.2f\n"
+                         "    \"affinity_probe_aos\": %.2f,\n"
+                         "    \"affinity_probe_soa\": %.2f,\n"
+                         "    \"migration_machine_179art\": %.2f,\n"
+                         "    \"migration_machine_179art_unbatched\":"
+                         " %.2f\n"
                          "  }\n"
                          "}\n",
-                         fifo_ns, lru_ns, machine_ns);
+                         fifo_ns, lru_ns, probe_aos_ns, probe_soa_ns,
+                         machine_ns, machine_scalar_ns);
             std::fclose(f);
         } else {
             std::fprintf(stderr, "warning: cannot write %s\n",

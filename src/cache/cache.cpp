@@ -30,12 +30,14 @@ Cache::Cache(const CacheConfig &config)
     : config_(config),
       tags_(makeTags(config))
 {
+    sa_ = dynamic_cast<SetAssocTags *>(tags_.get());
+    sk_ = dynamic_cast<SkewedTags *>(tags_.get());
 }
 
 AccessOutcome
 Cache::access(uint64_t line, bool is_store)
 {
-    return accessProbed(line, is_store, tags_->find(line));
+    return accessFast(line, is_store);
 }
 
 AccessOutcome
@@ -58,6 +60,13 @@ Cache::accessProbed(uint64_t line, bool is_store, CacheEntry *entry)
         return out;
     }
 
+    missPath(line, is_store, out);
+    return out;
+}
+
+void
+Cache::missPath(uint64_t line, bool is_store, AccessOutcome &out)
+{
     ++stats_.misses;
     const bool allocate =
         !is_store || config_.write == WritePolicy::WriteBackAllocate;
@@ -81,7 +90,6 @@ Cache::accessProbed(uint64_t line, bool is_store, CacheEntry *entry)
         if (is_store && config_.write == WritePolicy::WriteBackAllocate)
             frame.modified = true;
     }
-    return out;
 }
 
 AccessOutcome
@@ -116,12 +124,6 @@ bool
 Cache::contains(uint64_t line) const
 {
     return tags_->find(line) != nullptr;
-}
-
-CacheEntry *
-Cache::findEntry(uint64_t line)
-{
-    return tags_->find(line);
 }
 
 const CacheEntry *

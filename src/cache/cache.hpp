@@ -113,7 +113,7 @@ class Cache
     bool contains(uint64_t line) const;
 
     /** Direct access to the frame of `line` (nullptr if absent). */
-    CacheEntry *findEntry(uint64_t line);
+    CacheEntry *findEntry(uint64_t line) { return findEntryFast(line); }
     const CacheEntry *findEntry(uint64_t line) const;
 
     /** Remove `line` if resident. */
@@ -133,9 +133,89 @@ class Cache
     TagStore &tags() { return *tags_; }
     const TagStore &tags() const { return *tags_; }
 
+    /**
+     * findEntry() with the virtual dispatch peeled off: the concrete
+     * tag-store type is fixed at construction, so batch loops probe
+     * through a cached concrete pointer and the whole tag scan
+     * inlines (xmig-bolt hot path). Identical results to findEntry().
+     */
+    CacheEntry *
+    findEntryFast(uint64_t line)
+    {
+        if (sa_)
+            return sa_->findFast(line);
+        if (sk_)
+            return sk_->findFast(line);
+        return tags_->find(line);
+    }
+
+    /**
+     * access() with the accesses/hits tallies kept in the caller's
+     * registers: the batch loop calls this per reference and settles
+     * the two counters once per chunk with settleBatchStats(), so the
+     * hot loop does no statistics memory traffic. Misses still drop
+     * to the shared out-of-line missPath() (which counts the miss),
+     * so the cache *state* transition is exactly access()'s.
+     */
+    AccessOutcome
+    accessTallied(uint64_t line, bool is_store, uint64_t &hits)
+    {
+        AccessOutcome out;
+        CacheEntry *entry = findEntryFast(line);
+        if (entry) {
+            out.hit = true;
+            ++hits;
+            if (sa_)
+                sa_->touchFast(*entry);
+            else if (sk_)
+                sk_->touchFast(*entry);
+            else
+                tags_->touch(*entry);
+            if (is_store) {
+                if (config_.write == WritePolicy::WriteBackAllocate)
+                    entry->modified = true;
+                else
+                    out.writeThrough = true;
+            }
+            out.entry = entry;
+            return out;
+        }
+        missPath(line, is_store, out);
+        return out;
+    }
+
+    /** Fold a batch loop's register tallies into the stats. */
+    void
+    settleBatchStats(uint64_t accesses, uint64_t hits)
+    {
+        stats_.accesses += accesses;
+        stats_.hits += hits;
+    }
+
+    /**
+     * access() on the devirtualized probe/touch path. The hit arm is
+     * fully header-inline; misses drop to the shared out-of-line
+     * missPath(), which accessProbed() uses too — one miss code path,
+     * two entry points.
+     */
+    AccessOutcome
+    accessFast(uint64_t line, bool is_store)
+    {
+        ++stats_.accesses;
+        uint64_t hits = 0;
+        AccessOutcome out = accessTallied(line, is_store, hits);
+        stats_.hits += hits;
+        return out;
+    }
+
   private:
+    /** The miss arm of accessProbed()/accessFast() (counts the miss). */
+    void missPath(uint64_t line, bool is_store, AccessOutcome &out);
+
     CacheConfig config_;
     std::unique_ptr<TagStore> tags_;
+    SetAssocTags *sa_ = nullptr; ///< tags_, when set-associative
+    SkewedTags *sk_ = nullptr;   ///< tags_, when skewed
     CacheStats stats_;
 };
 

@@ -60,6 +60,76 @@ L1Filter::access(const MemRef &ref)
     }
 }
 
+size_t
+L1Filter::filterBatch(const MemRef *refs, size_t n, LineEvent *events,
+                      uint32_t *ref_idx, uint32_t *ev_instr,
+                      uint32_t *ifetch_total)
+{
+    size_t m = 0;
+    uint32_t instr = 0;
+    if (!config_.fullyAssociative) {
+        Cache &il1 = *saIl1_;
+        Cache &dl1 = *saDl1_;
+        const bool unified = config_.unifiedReadWrite;
+        // Access/hit tallies stay in registers across the run; the
+        // settle below folds them into the CacheStats, so the final
+        // counters match n access() calls exactly.
+        uint64_t il1_acc = 0, il1_hit = 0;
+        uint64_t dl1_acc = 0, dl1_hit = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const MemRef &ref = refs[i];
+            const uint64_t line = geom_.lineOf(ref.addr);
+            bool is_store = false;
+            bool hit;
+            if (ref.isIfetch()) {
+                ++instr;
+                ++il1_acc;
+                hit = il1.accessTallied(line, false, il1_hit).hit;
+            } else {
+                is_store = !unified && ref.isStore();
+                ++dl1_acc;
+                hit = dl1.accessTallied(line, is_store, dl1_hit).hit;
+            }
+            if (!hit || is_store) {
+                events[m].line = line;
+                events[m].type = ref.type;
+                events[m].l1Miss = !hit;
+                events[m].pointer = ref.pointer;
+                ref_idx[m] = static_cast<uint32_t>(i);
+                ev_instr[m] = instr;
+                ++m;
+            }
+        }
+        il1.settleBatchStats(il1_acc, il1_hit);
+        dl1.settleBatchStats(dl1_acc, dl1_hit);
+        *ifetch_total = instr;
+        return m;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const MemRef &ref = refs[i];
+        const uint64_t line = geom_.lineOf(ref.addr);
+        const bool is_store = !config_.unifiedReadWrite && ref.isStore();
+        bool hit;
+        if (ref.isIfetch()) {
+            ++instr;
+            hit = faIl1_->access(line);
+        } else {
+            hit = faDl1_->access(line);
+        }
+        if (!hit || is_store) {
+            events[m].line = line;
+            events[m].type = ref.type;
+            events[m].l1Miss = !hit;
+            events[m].pointer = ref.pointer;
+            ref_idx[m] = static_cast<uint32_t>(i);
+            ev_instr[m] = instr;
+            ++m;
+        }
+    }
+    *ifetch_total = instr;
+    return m;
+}
+
 const CacheStats &
 L1Filter::il1Stats() const
 {

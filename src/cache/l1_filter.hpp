@@ -85,6 +85,26 @@ class L1Filter : public RefSink
 
     void access(const MemRef &ref) override;
 
+    /**
+     * Filter a run of `n` references without invoking the sink: the
+     * resulting post-L1 events land in `events[0..m)` with the index
+     * of the originating reference in `ref_idx[0..m)` and the number
+     * of instruction fetches among refs[0..ref_idx[m]] (inclusive) in
+     * `ev_instr[0..m)`; returns m (<= n, at most one event per
+     * reference). `*ifetch_total` receives the run's instruction-
+     * fetch count. The L1 probes run through the devirtualized cache
+     * fast path with register-tallied statistics (xmig-bolt).
+     *
+     * Identical event stream to n access() calls: L1 state depends
+     * only on the reference stream itself — downstream processing
+     * never writes back into the L1 level — so probing the whole run
+     * before the caller consumes any event cannot change what any
+     * probe sees (docs/parallelism.md, "batching").
+     */
+    size_t filterBatch(const MemRef *refs, size_t n, LineEvent *events,
+                       uint32_t *ref_idx, uint32_t *ev_instr,
+                       uint32_t *ifetch_total);
+
     const CacheStats &il1Stats() const;
     const CacheStats &dl1Stats() const;
     const LineGeometry &geometry() const { return geom_; }

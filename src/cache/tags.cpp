@@ -89,27 +89,25 @@ SetAssocTags::SetAssocTags(uint64_t num_sets, unsigned ways,
 CacheEntry *
 SetAssocTags::find(uint64_t line)
 {
-    CacheEntry *base = &entries_[setOf(line) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].line == line)
-            return &base[w];
-    }
-    return nullptr;
+    return findFast(line);
 }
 
 const CacheEntry *
 SetAssocTags::find(uint64_t line) const
 {
-    return const_cast<SetAssocTags *>(this)->find(line);
+    return const_cast<SetAssocTags *>(this)->findFast(line);
 }
 
 void
 SetAssocTags::touch(CacheEntry &entry)
 {
-    entry.lastUse = ++clock_;
-    entry.age = 0;
-    if (policy_ == ReplPolicy::Age)
-        ageTick(entries_, clock_);
+    touchFast(entry);
+}
+
+void
+SetAssocTags::agePass()
+{
+    ageTick(entries_, clock_);
 }
 
 CacheEntry &
@@ -182,42 +180,28 @@ SkewedTags::SkewedTags(uint64_t sets_per_bank, unsigned ways,
     XMIG_ASSERT(ways >= 1, "need at least one bank");
 }
 
-uint64_t
-SkewedTags::slotOf(uint64_t line, unsigned bank) const
-{
-    // Bank 0 uses straight modulo indexing; other banks use skewing
-    // hashes, so bank 0 behaves like a direct-mapped slice and the
-    // skew spreads conflicts across the others.
-    const uint64_t set = bank == 0
-        ? (line & (setsPerBank_ - 1))
-        : skewHash(line, bank, setsPerBank_);
-    return uint64_t(bank) * setsPerBank_ + set;
-}
-
 CacheEntry *
 SkewedTags::find(uint64_t line)
 {
-    for (unsigned b = 0; b < ways_; ++b) {
-        CacheEntry &e = entries_[slotOf(line, b)];
-        if (e.valid && e.line == line)
-            return &e;
-    }
-    return nullptr;
+    return findFast(line);
 }
 
 const CacheEntry *
 SkewedTags::find(uint64_t line) const
 {
-    return const_cast<SkewedTags *>(this)->find(line);
+    return const_cast<SkewedTags *>(this)->findFast(line);
 }
 
 void
 SkewedTags::touch(CacheEntry &entry)
 {
-    entry.lastUse = ++clock_;
-    entry.age = 0;
-    if (policy_ == ReplPolicy::Age)
-        ageTick(entries_, clock_);
+    touchFast(entry);
+}
+
+void
+SkewedTags::agePass()
+{
+    ageTick(entries_, clock_);
 }
 
 CacheEntry &

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "util/hashing.hpp"
 #include "util/rng.hpp"
 
 namespace xmig {
@@ -130,9 +131,38 @@ class SetAssocTags : public TagStore
     uint64_t numSets() const { return numSets_; }
     unsigned ways() const { return ways_; }
 
+    /**
+     * Non-virtual, header-inline probe/touch for batch loops that hold
+     * a concrete SetAssocTags* (xmig-bolt). Same semantics as the
+     * virtual find()/touch() — those forward here, so there is exactly
+     * one code path.
+     */
+    CacheEntry *
+    findFast(uint64_t line)
+    {
+        CacheEntry *base = &entries_[setOf(line) * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].line == line)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    void
+    touchFast(CacheEntry &entry)
+    {
+        entry.lastUse = ++clock_;
+        entry.age = 0;
+        // L1/L2 run Lru, so the batch hot loop never takes this branch;
+        // the Age sweep stays out of line.
+        if (policy_ == ReplPolicy::Age)
+            agePass();
+    }
+
   private:
     uint64_t setOf(uint64_t line) const { return line & (numSets_ - 1); }
     unsigned victimWay(uint64_t set);
+    void agePass();
 
     uint64_t numSets_;
     unsigned ways_;
@@ -170,9 +200,42 @@ class SkewedTags : public TagStore
     uint64_t setsPerBank() const { return setsPerBank_; }
     unsigned ways() const { return ways_; }
 
+    /** Non-virtual, header-inline probe/touch (see SetAssocTags). */
+    CacheEntry *
+    findFast(uint64_t line)
+    {
+        for (unsigned b = 0; b < ways_; ++b) {
+            CacheEntry &e = entries_[slotOf(line, b)];
+            if (e.valid && e.line == line)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    void
+    touchFast(CacheEntry &entry)
+    {
+        entry.lastUse = ++clock_;
+        entry.age = 0;
+        if (policy_ == ReplPolicy::Age)
+            agePass();
+    }
+
   private:
     /** Frame index of `line`'s candidate slot in `bank`. */
-    uint64_t slotOf(uint64_t line, unsigned bank) const;
+    uint64_t
+    slotOf(uint64_t line, unsigned bank) const
+    {
+        // Bank 0 uses straight modulo indexing; other banks use
+        // skewing hashes, so bank 0 behaves like a direct-mapped slice
+        // and the skew spreads conflicts across the others.
+        const uint64_t set = bank == 0
+            ? (line & (setsPerBank_ - 1))
+            : skewHash(line, bank, setsPerBank_);
+        return uint64_t(bank) * setsPerBank_ + set;
+    }
+
+    void agePass();
 
     uint64_t setsPerBank_;
     unsigned ways_;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "core/soa_oe_store.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
@@ -38,6 +39,8 @@ MigrationController::makeStore() const
     if (config_.boundedStore) {
         AffinityCacheConfig ac = config_.affinityCache;
         ac.affinityBits = config_.affinityBits;
+        if (ac.soa)
+            return std::make_unique<SoaAffinityStore>(ac);
         return std::make_unique<AffinityCacheStore>(ac);
     }
     return std::make_unique<UnboundedOeStore>(config_.affinityBits);
@@ -540,6 +543,26 @@ MigrationController::onRequest(uint64_t line, bool l2_miss,
                (unsigned long long)recovery_.coresLost,
                (unsigned long long)recovery_.coresJoined);
     return activeCore_;
+}
+
+unsigned
+MigrationController::onRequestBatch(const Request *reqs, size_t n)
+{
+    // Every request runs the full decision body: the controller's
+    // per-request state machine (migration fabric, watchdog, retry
+    // backoff) is inherently sequential, so the batch form only
+    // amortizes the call overhead — the win lives in the engine and
+    // L1 layers below. Kept as the exact scalar loop on purpose.
+    const uint64_t requests_before = stats_.requests;
+    unsigned core = activeCore_;
+    for (size_t i = 0; i < n; ++i) {
+        core = onRequest(reqs[i].line, reqs[i].l2Miss,
+                         reqs[i].pointerLoad);
+    }
+    XMIG_AUDIT(stats_.requests == requests_before + n,
+               "batch of %zu requests accounted %llu", n,
+               (unsigned long long)(stats_.requests - requests_before));
+    return core;
 }
 
 std::optional<int64_t>

@@ -193,6 +193,26 @@ class MigrationController
     unsigned onRequest(uint64_t line, bool l2_miss = true,
                        bool pointer_load = true);
 
+    /** One pre-decoded post-L1 request for onRequestBatch(). */
+    struct Request
+    {
+        uint64_t line = 0;
+        bool l2Miss = true;
+        bool pointerLoad = true;
+    };
+
+    /**
+     * Present a run of `n` requests; returns the active core after
+     * the last one — the xmig-bolt batch entry point for consumers
+     * that drive the controller directly (bench kernels, splitter
+     * studies, traces with precomputed miss bits). The machine's
+     * event loop cannot use it: each request's `l2Miss` bit comes
+     * from probing the L2 of the core that is active *after* the
+     * previous request's migration decision, a loop-carried
+     * dependency (docs/parallelism.md, "batching").
+     */
+    unsigned onRequestBatch(const Request *reqs, size_t n);
+
     /** Core the controller currently maps the execution to. */
     unsigned activeCore() const { return activeCore_; }
 

@@ -261,6 +261,14 @@ struct AffinityCacheConfig
     ReplPolicy repl = ReplPolicy::Age; ///< "age-based replacement"
     unsigned affinityBits = 16;
     uint64_t seed = 7;
+
+    /**
+     * Structure-of-arrays frame layout (soa_oe_store.hpp, xmig-bolt).
+     * Bit-identical to the AoS layout by contract — the knob exists
+     * so tests can drive both layouts through the same stimulus and
+     * the perf delta can be measured (bench_speedup probe microbench).
+     */
+    bool soa = true;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include "core/kway_splitter.hpp"
 #include "core/migration_controller.hpp"
 #include "core/oe_store.hpp"
+#include "core/soa_oe_store.hpp"
 #include "core/splitter.hpp"
 #include "obs/registry.hpp"
 
@@ -113,6 +114,11 @@ MigrationController::registerMetrics(obs::MetricsRegistry &registry,
             dynamic_cast<const AffinityCacheStore *>(store_.get())) {
         registry.addGauge(prefix + ".store.occupancy", [bounded] {
             return static_cast<double>(bounded->occupancy());
+        });
+    } else if (const auto *soa = dynamic_cast<const SoaAffinityStore *>(
+                   store_.get())) {
+        registry.addGauge(prefix + ".store.occupancy", [soa] {
+            return static_cast<double>(soa->occupancy());
         });
     }
 

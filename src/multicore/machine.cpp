@@ -98,6 +98,59 @@ MigrationMachine::access(const MemRef &ref)
 }
 
 void
+MigrationMachine::accessBatch(const MemRef *refs, size_t n)
+{
+    if constexpr (kFaultEnabled) {
+        if (injector_) {
+            // Injector ticks, fault draws, and core hot-(un)plug
+            // events are all defined per reference; replaying them at
+            // chunk granularity would change every draw after the
+            // first. Exact fallback.
+            for (size_t i = 0; i < n; ++i) {
+                // xmig-lint: allow(alloc-in-hot-loop) -- injector is
+                // per-reference; exact fallback, cold path.
+                access(refs[i]);
+            }
+            return;
+        }
+    }
+    while (n > 0) {
+        const size_t k = n < kBatchRefs ? n : kBatchRefs;
+        const uint64_t base_refs = stats_.refs;
+        const uint64_t base_instr = stats_.instructions;
+
+        // Phase 1: the whole chunk through the L1 level in one loop,
+        // which also tallies the instruction-fetch count at each
+        // event. At most one event per reference, so the fixed
+        // buffers fit.
+        LineEvent events[kBatchRefs];
+        uint32_t ev_ref[kBatchRefs];
+        uint32_t ev_instr[kBatchRefs];
+        uint32_t ifetches = 0;
+        const size_t m =
+            l1_->filterBatch(refs, k, events, ev_ref, ev_instr,
+                             &ifetches);
+
+        // Phase 2: the sparse post-L1 events, in reference order,
+        // with the counters set to their exact scalar values first —
+        // processLine() stamps trace/journal events with stats_.refs.
+        for (size_t e = 0; e < m; ++e) {
+            stats_.refs = base_refs + ev_ref[e] + 1;
+            stats_.instructions = base_instr + ev_instr[e];
+            processLine(events[e]);
+        }
+        stats_.refs = base_refs + k;
+        stats_.instructions = base_instr + ifetches;
+        XMIG_AUDIT(stats_.instructions <= stats_.refs,
+                   "instruction fetches (%llu) outran references (%llu)",
+                   (unsigned long long)stats_.instructions,
+                   (unsigned long long)stats_.refs);
+        refs += k;
+        n -= k;
+    }
+}
+
+void
 MigrationMachine::attachJournal(obs::Journal *journal)
 {
     journal_ = journal;
@@ -163,6 +216,12 @@ MigrationMachine::applyCoreEvents()
 
 void
 MigrationMachine::onLine(const LineEvent &event)
+{
+    processLine(event);
+}
+
+void
+MigrationMachine::processLine(const LineEvent &event)
 {
     const bool is_store = event.type == RefType::Store;
     if (event.l1Miss)

@@ -170,6 +170,28 @@ class MigrationMachine : public RefSink, private LineSink
 
     void access(const MemRef &ref) override;
 
+    /**
+     * Batch granularity of accessBatch(): long enough to amortize the
+     * per-chunk bookkeeping, short enough that the chunk's MemRefs,
+     * events, and prefix counts all live in L1 (K * ~40 bytes ≈ 2.5
+     * KB). Measured flat from 32 to 128 on the Table-1 workloads;
+     * see docs/parallelism.md.
+     */
+    static constexpr size_t kBatchRefs = 64;
+
+    /**
+     * Process a run of `n` references — the xmig-bolt batch entry
+     * point. Byte-identical to n access() calls: each K-ref chunk
+     * filters through the L1 level in one tight devirtualized loop,
+     * then the (sparse) post-L1 events are processed in order with
+     * stats_.refs / stats_.instructions set to their exact scalar
+     * values before every event, so trace and journal clocks cannot
+     * tell the difference (docs/parallelism.md, "batching"). An armed
+     * fault plan falls back to per-reference processing — injector
+     * ticks are defined per reference.
+     */
+    void accessBatch(const MemRef *refs, size_t n);
+
     const MachineStats &stats() const { return stats_; }
     unsigned activeCore() const { return activeCore_; }
 
@@ -242,6 +264,9 @@ class MigrationMachine : public RefSink, private LineSink
 
   private:
     void onLine(const LineEvent &event) override;
+
+    /** The post-L1 event body behind onLine() (non-virtual). */
+    void processLine(const LineEvent &event);
 
     /** Drain and apply core hot-(un)plug events from the injector. */
     void applyCoreEvents();

@@ -118,6 +118,22 @@ class RunObservatory
     /** The event journal (null unless --journal-out requested one). */
     obs::Journal *journal() { return journal_.get(); }
 
+    /**
+     * Whether per-reference time-series sampling is on. The sampler's
+     * cadence is defined in single references, so a batched feed
+     * would shift every sample instant — runQuadcore falls back to
+     * per-reference feeding while this is true (xmig-bolt).
+     */
+    bool samplingActive() const { return sampling_; }
+
+    /**
+     * Whether the process-wide tracer is recording. Trace *clocks*
+     * are batch-exact (machines stamp events with stats_.refs), but
+     * the file-order interleave of two machines' events is not, so
+     * the batched feed stands down to keep trace files byte-stable.
+     */
+    bool tracingActive() const { return tracing_; }
+
   private:
     ObserveOptions options_;
     obs::MetricsRegistry registry_;

@@ -2,6 +2,8 @@
 
 #include "obs/prof.hpp"
 #include "sim/observe.hpp"
+#include "sim/runner/batch_queue.hpp"
+#include "sim/runner/job_pool.hpp"
 #include "workloads/registry.hpp"
 
 namespace xmig {
@@ -74,6 +76,136 @@ class ObservedWarmupTee final : public WarmupTee
     RunObservatory &observatory_;
 };
 
+/**
+ * xmig-bolt batched feed: buffers K references and drives both
+ * machines through accessBatch(). Warm-up runs per-reference so the
+ * counter reset lands at the exact reference WarmupTee resets at;
+ * the caller must flush() after the workload ends.
+ */
+class BatchFeedTee final : public RefSink
+{
+  public:
+    BatchFeedTee(MigrationMachine &baseline, MigrationMachine &migration,
+                 uint64_t warmup_instructions)
+        : baseline_(baseline),
+          migration_(migration),
+          warmup_(warmup_instructions),
+          done_(warmup_instructions == 0)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        if (!done_) {
+            baseline_.access(ref);
+            migration_.access(ref);
+            if (ref.isIfetch() && ++instructions_ >= warmup_) {
+                baseline_.resetStats();
+                migration_.resetStats();
+                done_ = true;
+            }
+            return;
+        }
+        buf_[count_++] = ref;
+        if (count_ == MigrationMachine::kBatchRefs)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        if (count_ == 0)
+            return;
+        baseline_.accessBatch(buf_, count_);
+        migration_.accessBatch(buf_, count_);
+        count_ = 0;
+    }
+
+  private:
+    MigrationMachine &baseline_;
+    MigrationMachine &migration_;
+    uint64_t warmup_;
+    uint64_t instructions_ = 0;
+    bool done_;
+    MemRef buf_[MigrationMachine::kBatchRefs];
+    size_t count_ = 0;
+};
+
+/**
+ * xmig-bolt pipelined feed, producer half: feeds the baseline inline
+ * on this worker and hands each chunk (with any warm-up boundary
+ * marked) to the queue for the consumer worker's migration machine.
+ */
+class PipelineProducerTee final : public RefSink
+{
+  public:
+    PipelineProducerTee(MigrationMachine &baseline, BatchQueue &queue,
+                        uint64_t warmup_instructions)
+        : baseline_(baseline),
+          queue_(queue),
+          warmup_(warmup_instructions),
+          done_(warmup_instructions == 0)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        chunk_.refs[chunk_.count++] = ref;
+        if (!done_ && ref.isIfetch() && ++instructions_ >= warmup_) {
+            chunk_.resetAfter = static_cast<int32_t>(chunk_.count) - 1;
+            done_ = true;
+        }
+        if (chunk_.count == BatchQueue::kChunkRefs)
+            flush();
+    }
+
+    void
+    flush()
+    {
+        if (chunk_.count == 0)
+            return;
+        if (chunk_.resetAfter >= 0) {
+            const size_t b = static_cast<size_t>(chunk_.resetAfter) + 1;
+            baseline_.accessBatch(chunk_.refs.data(), b);
+            baseline_.resetStats();
+            baseline_.accessBatch(chunk_.refs.data() + b,
+                                  chunk_.count - b);
+        } else {
+            baseline_.accessBatch(chunk_.refs.data(), chunk_.count);
+        }
+        queue_.push(chunk_);
+        chunk_.count = 0;
+        chunk_.resetAfter = -1;
+    }
+
+  private:
+    MigrationMachine &baseline_;
+    BatchQueue &queue_;
+    uint64_t warmup_;
+    uint64_t instructions_ = 0;
+    bool done_;
+    BatchQueue::Chunk chunk_;
+};
+
+/** Consumer half: drain the queue into the migration machine. */
+void
+drainIntoMachine(BatchQueue &queue, MigrationMachine &migration)
+{
+    BatchQueue::Chunk c;
+    while (queue.pop(c)) {
+        if (c.resetAfter >= 0) {
+            const size_t b = static_cast<size_t>(c.resetAfter) + 1;
+            migration.accessBatch(c.refs.data(), b);
+            migration.resetStats();
+            migration.accessBatch(c.refs.data() + b, c.count - b);
+        } else {
+            migration.accessBatch(c.refs.data(), c.count);
+        }
+    }
+}
+
 } // namespace
 
 QuadcoreRow
@@ -105,7 +237,46 @@ runQuadcore(const std::string &benchmark, const QuadcoreParams &params,
         XMIG_PROF_SCOPE("feed");
         const uint64_t total = params.warmupInstructions +
                                params.instructionsPerBenchmark;
-        if (observatory) {
+        // Sampling cadence and trace interleave are defined over
+        // single references; both batched modes stand down to the
+        // scalar path while either is recording (observe.hpp).
+        FeedMode feed = params.feed;
+        if (observatory && (observatory->samplingActive() ||
+                            observatory->tracingActive()))
+            feed = FeedMode::PerRef;
+
+        if (feed == FeedMode::Pipelined) {
+            // Two roles on two pool workers: the producer runs the
+            // workload and the baseline, the consumer the migration
+            // machine. JobPool(2) always has two live workers, so the
+            // bounded queue cannot deadlock (a 1-worker pool would
+            // run both roles serially and block on the first full
+            // slot — hence the explicit pool, not a caller-provided
+            // one).
+            BatchQueue queue;
+            JobPool pool(2);
+            pool.run(2, [&](size_t job) {
+                if (job == 0) {
+                    try {
+                        PipelineProducerTee tee(
+                            baseline, queue, params.warmupInstructions);
+                        workload->run(tee, total, params.seed);
+                        tee.flush();
+                    } catch (...) {
+                        queue.close(); // unblock the consumer
+                        throw;
+                    }
+                    queue.close();
+                } else {
+                    drainIntoMachine(queue, migration);
+                }
+            });
+        } else if (feed == FeedMode::Batched) {
+            BatchFeedTee tee(baseline, migration,
+                             params.warmupInstructions);
+            workload->run(tee, total, params.seed);
+            tee.flush();
+        } else if (observatory) {
             ObservedWarmupTee tee(baseline, migration,
                                   params.warmupInstructions,
                                   *observatory);

@@ -61,10 +61,30 @@ struct QuadcoreRow
     }
 };
 
+/**
+ * How the reference stream reaches the two machines of a cell
+ * (xmig-bolt). All three modes produce byte-identical results — the
+ * batched paths are exact by construction and the pipelined queue
+ * preserves reference order — so the choice is purely a speed knob
+ * (docs/parallelism.md, "batching").
+ */
+enum class FeedMode : uint8_t
+{
+    PerRef,    ///< one access() per reference (the original path)
+    Batched,   ///< K-ref accessBatch() chunks, serial (default)
+    Pipelined, ///< baseline and migration machines on 2 pool workers
+};
+
 /** Parameters of a Table 2 run. */
 struct QuadcoreParams
 {
     uint64_t instructionsPerBenchmark = 20'000'000;
+
+    /**
+     * Feed mode; forced back to PerRef while the observatory samples
+     * time series or traces (their artifacts are per-reference).
+     */
+    FeedMode feed = FeedMode::Batched;
 
     /**
      * Instructions to run before counters start. The paper's

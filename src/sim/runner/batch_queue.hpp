@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Bounded chunk queue for intra-cell machine pipelining (xmig-bolt).
+ *
+ * runQuadcore's pipelined feed mode runs the baseline and migration
+ * machines of one Table-2 cell on two JobPool workers: the producer
+ * feeds the baseline inline and hands reference chunks to this queue;
+ * the consumer drains them into the migration machine. The queue is
+ * strictly single-producer single-consumer, bounded (back-pressure
+ * keeps the two machines within kSlots chunks of each other, so
+ * memory stays O(1)), and FIFO — the consumer sees exactly the
+ * producer's reference order, which is what makes the pipelined run
+ * byte-identical to the serial one (docs/parallelism.md, "batching").
+ *
+ * A mutex + two condition variables, not a lock-free ring: one
+ * handoff per K=64 references means the lock is touched ~16k times
+ * per million references — measurement noise next to the simulation
+ * work in each chunk, and trivially TSan-clean.
+ */
+
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "mem/ref.hpp"
+#include "multicore/machine.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace xmig {
+
+/** SPSC bounded queue of reference chunks. */
+class BatchQueue
+{
+  public:
+    static constexpr size_t kChunkRefs = MigrationMachine::kBatchRefs;
+    static constexpr size_t kSlots = 8;
+
+    /** One producer-to-consumer handoff. */
+    struct Chunk
+    {
+        std::array<MemRef, kChunkRefs> refs;
+        uint32_t count = 0;
+
+        /**
+         * Warm-up boundary: when >= 0, the consumer must reset the
+         * machine's counters after feeding refs[0..resetAfter]
+         * (inclusive) — the exact reference where the scalar
+         * WarmupTee would have reset them.
+         */
+        int32_t resetAfter = -1;
+    };
+
+    /** Block until a slot frees, then enqueue a copy of `chunk`. */
+    void
+    push(const Chunk &chunk)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (used_ >= kSlots)
+            notFull_.wait(lock);
+        ring_[tail_] = chunk;
+        tail_ = (tail_ + 1) % kSlots;
+        ++used_;
+        lock.unlock();
+        notEmpty_.notify_one();
+    }
+
+    /**
+     * Block until a chunk arrives or the queue is closed and drained.
+     * Returns false only in the latter case.
+     */
+    bool
+    pop(Chunk &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (used_ == 0 && !closed_)
+            notEmpty_.wait(lock);
+        if (used_ == 0)
+            return false;
+        out = ring_[head_];
+        head_ = (head_ + 1) % kSlots;
+        --used_;
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Producer is done; wakes a consumer blocked in pop(). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::array<Chunk, kSlots> ring_ XMIG_GUARDED_BY(mutex_);
+    size_t head_ XMIG_GUARDED_BY(mutex_) = 0;
+    size_t tail_ XMIG_GUARDED_BY(mutex_) = 0;
+    size_t used_ XMIG_GUARDED_BY(mutex_) = 0;
+    bool closed_ XMIG_GUARDED_BY(mutex_) = false;
+};
+
+} // namespace xmig

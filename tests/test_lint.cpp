@@ -305,6 +305,85 @@ TEST(JournalInHotLoop, OnlyGatedMethodsAreBanned)
 }
 
 // ---------------------------------------------------------------------------
+// alloc-in-hot-loop
+// ---------------------------------------------------------------------------
+
+TEST(AllocInHotLoop, FlagsHeapAllocationInBatchBodies)
+{
+    EXPECT_EQ(rulesIn("src/multicore/machine.cpp",
+                      "void accessBatch(const MemRef *r, size_t n) {\n"
+                      "    buf_.push_back(r[0]);\n"
+                      "}\n"),
+              std::vector<std::string>{"alloc-in-hot-loop"});
+    EXPECT_EQ(rulesIn("src/core/engine.cpp",
+                      "void referenceBatch(const uint64_t *l, size_t "
+                      "n) {\n"
+                      "    auto p = std::make_unique<int>(4);\n"
+                      "}\n"),
+              std::vector<std::string>{"alloc-in-hot-loop"});
+    EXPECT_EQ(rulesIn("src/cache/l1_filter.cpp",
+                      "size_t filterBatch(const MemRef *r, size_t n) "
+                      "{\n"
+                      "    int *x = new int[n];\n"
+                      "    return 0;\n"
+                      "}\n"),
+              std::vector<std::string>{"alloc-in-hot-loop"});
+}
+
+TEST(AllocInHotLoop, FlagsVirtualSeamAndScalarReentry)
+{
+    // Per-reference dispatch through the OeStore interface...
+    EXPECT_EQ(rulesIn("src/core/engine.cpp",
+                      "void referenceBatch(const uint64_t *l, size_t "
+                      "n) {\n"
+                      "    for (size_t i = 0; i < n; ++i)\n"
+                      "        sum += store_.lookup(l[i], d);\n"
+                      "}\n"),
+              std::vector<std::string>{"alloc-in-hot-loop"});
+    // ...and re-entry into the scalar per-reference entry point.
+    EXPECT_EQ(rulesIn("src/multicore/machine.cpp",
+                      "void accessBatch(const MemRef *r, size_t n) {\n"
+                      "    for (size_t i = 0; i < n; ++i)\n"
+                      "        access(r[i]);\n"
+                      "}\n"),
+              std::vector<std::string>{"alloc-in-hot-loop"});
+}
+
+TEST(AllocInHotLoop, FastEntryPointsAndNonBatchCodeAreFine)
+{
+    // Devirtualized *Fast calls are the blessed batched path.
+    EXPECT_TRUE(rulesIn("src/core/engine.cpp",
+                        "void referenceBatch(const uint64_t *l, "
+                        "size_t n) {\n"
+                        "    for (size_t i = 0; i < n; ++i)\n"
+                        "        sum += soaStore_->lookupFast(l[i], "
+                        "d);\n"
+                        "}\n")
+                    .empty());
+    // Only *Batch bodies are hot; the scalar path may allocate.
+    EXPECT_TRUE(rulesIn("src/core/engine.cpp",
+                        "void warmup() { trace_.push_back(1); }\n")
+                    .empty());
+    // A *call* to a Batch function is not a definition.
+    EXPECT_TRUE(rulesIn("src/sim/quadcore.cpp",
+                        "void f() { m.accessBatch(buf, n); }\n")
+                    .empty());
+}
+
+TEST(AllocInHotLoop, ColdFallbackArmCanBeSuppressed)
+{
+    const std::string src =
+        "void accessBatch(const MemRef *r, size_t n) {\n"
+        "    for (size_t i = 0; i < n; ++i) {\n"
+        "        // xmig-lint: allow(alloc-in-hot-loop) -- exact\n"
+        "        // fallback, cold path.\n"
+        "        access(r[i]);\n"
+        "    }\n"
+        "}\n";
+    EXPECT_TRUE(rulesIn("src/multicore/machine.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 

@@ -248,6 +248,14 @@ TEST(Gate, HostMetadataMismatchRefusesComparison)
                              benchWith(20.0, 30.0, "12.2.0", 64), kGate);
     EXPECT_TRUE(r.refused);
     EXPECT_NE(r.render().find("verdict: REFUSED"), std::string::npos);
+    // The refusal quotes the raw host-metadata lines of both inputs
+    // so the mismatch can be inspected without opening the files.
+    EXPECT_NE(r.render().find("A: \"host_cores\": 4"),
+              std::string::npos)
+        << r.render();
+    EXPECT_NE(r.render().find("B: \"host_cores\": 64"),
+              std::string::npos)
+        << r.render();
     // Different compiler.
     r = diffTexts(kBenchA, benchWith(20.0, 30.0, "13.1.0", 4), kGate);
     EXPECT_TRUE(r.refused);

@@ -906,6 +906,120 @@ ruleJournalInHotLoop(const std::string &path, const LexedFile &lexed,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: alloc-in-hot-loop
+// ---------------------------------------------------------------------------
+
+/** Calls that allocate (or may reallocate) heap memory. */
+const std::unordered_set<std::string> kHotAllocCalls = {
+    "malloc",      "calloc",      "realloc",  "aligned_alloc",
+    "strdup",      "make_unique", "make_shared",
+    "push_back",   "emplace_back", "resize",  "reserve",
+    "insert",      "emplace",
+};
+
+/** Member calls that are the per-reference virtual seam (the OeStore
+ *  interface); batched code must reach the concrete store through its
+ *  devirtualized *Fast entry points instead. */
+const std::unordered_set<std::string> kScalarSeamMembers = {
+    "lookup",
+    "store",
+};
+
+/** Unqualified calls that re-enter the scalar per-reference path
+ *  (AffinityEngine::reference, MigrationMachine::access). */
+const std::unordered_set<std::string> kScalarEntryCalls = {
+    "reference",
+    "access",
+};
+
+/**
+ * Scan the bodies of *Batch functions (accessBatch, referenceBatch,
+ * filterBatch, onRequestBatch, ...) — the xmig-bolt hot paths whose
+ * whole point is to amortize per-reference overhead — for heap
+ * allocation and for per-reference dispatch through a virtual seam.
+ * Cold fallback arms (fault-armed, unbounded store) carry an explicit
+ * suppression with the justification of why they are exact.
+ */
+void
+ruleAllocInHotLoop(const std::string &path, const LexedFile &lexed,
+                   const std::string &content,
+                   std::vector<Finding> &findings)
+{
+    const auto &toks = lexed.toks;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            toks[i].text.find("Batch") == std::string::npos ||
+            toks[i + 1].text != "(")
+            continue;
+        const size_t close = findMatch(toks, i + 1, "(", ")");
+        if (close >= toks.size())
+            continue;
+        // A definition, not a call or declaration: only specifiers
+        // (const, noexcept, override, ref-qualifiers) between the
+        // parameter list and the body brace. Constructor initializer
+        // lists of Batch* classes are deliberately not chased — the
+        // rule targets the per-reference loops, not setup code.
+        size_t bodyOpen = toks.size();
+        for (size_t j = close + 1; j < toks.size(); ++j) {
+            const Tok &t = toks[j];
+            if (t.kind == TokKind::Ident || t.text == "&" ||
+                t.text == "(" || t.text == ")")
+                continue;
+            if (t.text == "{")
+                bodyOpen = j;
+            break;
+        }
+        if (bodyOpen >= toks.size())
+            continue;
+        const size_t bodyClose = findMatch(toks, bodyOpen, "{", "}");
+        if (bodyClose >= toks.size())
+            continue;
+        const std::string fn = toks[i].text;
+        auto flag = [&](unsigned line, const std::string &what) {
+            findings.push_back(
+                {path, line, "alloc-in-hot-loop",
+                 what + " inside batched hot path " + fn +
+                     "(): the *Batch loops exist to amortize "
+                     "per-reference overhead, so they must be "
+                     "allocation-free and devirtualized — hoist the "
+                     "work out of the loop or use the concrete *Fast "
+                     "entry points; a cold exact-fallback arm may be "
+                     "suppressed with a justification",
+                 sourceLine(content, line)});
+        };
+        for (size_t j = bodyOpen + 1; j < bodyClose; ++j) {
+            const Tok &t = toks[j];
+            if (t.kind != TokKind::Ident)
+                continue;
+            if (t.text == "new") {
+                flag(t.line, "operator new");
+                continue;
+            }
+            // Call position, allowing a template argument list
+            // (std::make_unique<T>(...)).
+            size_t paren = j + 1;
+            if (paren < bodyClose && toks[paren].text == "<")
+                paren = skipAngles(toks, paren);
+            if (paren >= bodyClose || toks[paren].text != "(")
+                continue;
+            const bool member =
+                j > 0 && toks[j - 1].kind == TokKind::Punct &&
+                (toks[j - 1].text == "." || toks[j - 1].text == "->");
+            if (kHotAllocCalls.count(t.text)) {
+                flag(t.line, "heap allocation via " + t.text + "()");
+            } else if (member && kScalarSeamMembers.count(t.text)) {
+                flag(t.line, "per-reference virtual dispatch " +
+                                 toks[j - 1].text + t.text + "()");
+            } else if (!member && kScalarEntryCalls.count(t.text)) {
+                flag(t.line,
+                     "per-reference scalar re-entry " + t.text + "()");
+            }
+        }
+        i = bodyClose;
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -919,7 +1033,7 @@ allRules()
         "no-wallclock",        "unordered-output",
         "pointer-order",       "naked-mutex",
         "contract-coverage",   "journal-in-hot-loop",
-        "bad-suppression",
+        "alloc-in-hot-loop",   "bad-suppression",
     };
     return rules;
 }
@@ -955,6 +1069,7 @@ lintFiles(const std::vector<std::pair<std::string, std::string>> &files)
         ruleNakedMutex(path, lexed[f], content, raw);
         ruleContractCoverage(path, lexed[f], content, raw);
         ruleJournalInHotLoop(path, lexed[f], content, raw);
+        ruleAllocInHotLoop(path, lexed[f], content, raw);
 
         const Suppressions sup =
             parseSuppressions(path, lexed[f].comments, content);

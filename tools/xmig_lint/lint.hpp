@@ -53,6 +53,15 @@
  *                      family, so they neither compile out under
  *                      -DXMIG_JOURNAL=OFF nor skip argument
  *                      evaluation when no journal is attached.
+ *   alloc-in-hot-loop  heap allocation (new, malloc, push_back,
+ *                      make_unique, ...) or per-reference dispatch
+ *                      through a virtual seam (x.lookup()/x.store()
+ *                      on the OeStore interface, unqualified
+ *                      reference()/access() re-entry) inside a
+ *                      *Batch function body — the xmig-bolt batched
+ *                      hot paths exist to amortize exactly that
+ *                      per-reference overhead
+ *                      (docs/parallelism.md, "batching").
  *   bad-suppression    a malformed xmig-lint comment (unknown rule
  *                      id, or no justification).
  *

@@ -1,6 +1,7 @@
 #include "report.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -730,6 +731,28 @@ diffJournals(const std::string &ta, const std::string &tb,
     }
 }
 
+/**
+ * The verbatim `"key": value` fragment of `text` — shown on a
+ * host-metadata refusal so the user sees exactly what the two files
+ * said instead of having to open them. Works for pretty-printed and
+ * single-line JSON alike: from the key's opening quote to the next
+ * comma, closing brace, or newline.
+ */
+std::string
+rawFragmentFor(const std::string &text, const std::string &key)
+{
+    const std::string quoted = "\"" + key + "\"";
+    const size_t at = text.find(quoted);
+    if (at == std::string::npos)
+        return "(no " + quoted + " entry)";
+    size_t end = text.find_first_of(",}\n", at);
+    end = end == std::string::npos ? text.size() : end;
+    while (end > at &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(at, end - at);
+}
+
 void
 diffBench(const std::string &ta, const std::string &tb,
           const GateSpec &gate, DiffResult *out)
@@ -754,6 +777,12 @@ diffBench(const std::string &ta, const std::string &tb,
             b.hostCores,
             b.compiler.empty() ? "unknown compiler"
                                : b.compiler.c_str());
+        for (const char *key : {"host_cores", "compiler"}) {
+            out->notes.push_back(
+                fmt("  A: %s", rawFragmentFor(ta, key).c_str()));
+            out->notes.push_back(
+                fmt("  B: %s", rawFragmentFor(tb, key).c_str()));
+        }
         return;
     }
     diffNumberMaps(a.numbers, b.numbers, out);
