@@ -43,6 +43,7 @@
 #include "core/engine.hpp"
 #include "core/oe_store.hpp"
 #include "core/soa_oe_store.hpp"
+#include "multicore/arena.hpp"
 #include "multicore/machine.hpp"
 #include "sim/options.hpp"
 #include "sim/quadcore.hpp"
@@ -225,6 +226,30 @@ machineLoopNs(uint64_t iters, bool batched)
     return dt / static_cast<double>(iters) * 1e9;
 }
 
+/**
+ * End-to-end xmig-arena feed: ns per reference of a two-tenant
+ * throughput arena — probe, producer threads, scheduler arbitration
+ * and shared-L3 contention included. This is the whole-pipeline cost
+ * bench_figure1 pays per cell, so it moves with the arena plumbing
+ * (queue handoff, session bookkeeping), not just the machine kernel.
+ */
+double
+arenaLoopNs(uint64_t instr)
+{
+    ArenaConfig cfg;
+    cfg.mode = ArenaMode::Throughput;
+    cfg.tenants = {{"mst", instr, 42}, {"bisort", instr, 42}};
+    cfg.probeInstructions = 50'000;
+    const double t0 = now();
+    TenantArena arena(cfg);
+    const ArenaResult r = arena.run();
+    const double dt = now() - t0;
+    uint64_t refs = 0;
+    for (const TenantResult &t : r.tenants)
+        refs += t.refs;
+    return dt / static_cast<double>(refs > 0 ? refs : 1) * 1e9;
+}
+
 std::string
 fmt(const char *f, double v)
 {
@@ -296,6 +321,7 @@ main(int argc, char **argv)
     const double probe_soa_ns = probeLoopNs(true, micro_iters);
     const double machine_ns = machineLoopNs(micro_iters, true);
     const double machine_scalar_ns = machineLoopNs(micro_iters, false);
+    const double arena_ns = arenaLoopNs(instr);
     out += "\n";
     AsciiTable micro({"kernel", "ns/reference"});
     micro.addRow({"AffinityEngine FIFO/Exact", fmt("%.1f", fifo_ns)});
@@ -307,6 +333,8 @@ main(int argc, char **argv)
                   fmt("%.1f", machine_ns)});
     micro.addRow({"MigrationMachine 179.art (scalar)",
                   fmt("%.1f", machine_scalar_ns)});
+    micro.addRow({"TenantArena 2-tenant throughput",
+                  fmt("%.1f", arena_ns)});
     out += micro.render("Per-reference hot path (single thread)");
 
     if (!all_identical)
@@ -329,6 +357,8 @@ main(int argc, char **argv)
             std::fprintf(f, "machine_ns_per_ref,%.2f\n", machine_ns);
             std::fprintf(f, "machine_scalar_ns_per_ref,%.2f\n",
                          machine_scalar_ns);
+            std::fprintf(f, "arena_2tenant_ns_per_ref,%.2f\n",
+                         arena_ns);
             std::fclose(f);
         } else {
             std::fprintf(stderr, "warning: cannot write %s\n",
@@ -373,11 +403,12 @@ main(int argc, char **argv)
                          "    \"affinity_probe_soa\": %.2f,\n"
                          "    \"migration_machine_179art\": %.2f,\n"
                          "    \"migration_machine_179art_unbatched\":"
-                         " %.2f\n"
+                         " %.2f,\n"
+                         "    \"arena_2tenant_throughput\": %.2f\n"
                          "  }\n"
                          "}\n",
                          fifo_ns, lru_ns, probe_aos_ns, probe_soa_ns,
-                         machine_ns, machine_scalar_ns);
+                         machine_ns, machine_scalar_ns, arena_ns);
             std::fclose(f);
         } else {
             std::fprintf(stderr, "warning: cannot write %s\n",

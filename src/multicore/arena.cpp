@@ -1,0 +1,554 @@
+#include "multicore/arena.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "mem/trace.hpp"
+#include "sim/runner/batch_queue.hpp"
+#include "util/contracts.hpp"
+#include "workloads/registry.hpp"
+
+namespace xmig {
+
+namespace {
+
+/** Thrown by the feed sink when the consumer cancels the stream. */
+struct StreamCancelled
+{
+};
+
+/**
+ * Producer-side sink: offsets every reference into the tenant's
+ * private address range and hands full chunks to the session queue.
+ * A failed push means the arena abandoned the stream; the exception
+ * unwinds out of Workload::run so the producer thread can exit.
+ */
+class TenantFeedSink : public RefSink
+{
+  public:
+    TenantFeedSink(BatchQueue &queue, uint64_t address_offset)
+        : queue_(queue), offset_(address_offset)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        MemRef shifted = ref;
+        shifted.addr += offset_;
+        chunk_.refs[chunk_.count++] = shifted;
+        if (chunk_.count == BatchQueue::kChunkRefs)
+            handOff();
+    }
+
+    /** Push the trailing partial chunk, if any. */
+    void
+    flush()
+    {
+        if (chunk_.count > 0)
+            handOff();
+    }
+
+  private:
+    void
+    handOff()
+    {
+        if (!queue_.push(chunk_))
+            throw StreamCancelled{};
+        chunk_.count = 0;
+    }
+
+    BatchQueue &queue_;
+    uint64_t offset_;
+    BatchQueue::Chunk chunk_;
+};
+
+/**
+ * Probe-side sink: offsets references straight into a machine, and
+ * resets the machine's counters once `warmup_instructions` have
+ * executed so the probe measures steady-state behavior (cold
+ * compulsory misses would otherwise dominate a short probe and
+ * misclassify every tenant as cache-hungry).
+ */
+class ProbeSink : public RefSink
+{
+  public:
+    ProbeSink(MigrationMachine &machine, uint64_t address_offset,
+              uint64_t warmup_instructions)
+        : machine_(machine),
+          offset_(address_offset),
+          warmup_(warmup_instructions)
+    {
+    }
+
+    void
+    access(const MemRef &ref) override
+    {
+        MemRef shifted = ref;
+        shifted.addr += offset_;
+        machine_.access(shifted);
+        if (!warmedUp_ &&
+            machine_.stats().instructions >= warmup_) {
+            machine_.resetStats();
+            warmedUp_ = true;
+        }
+    }
+
+  private:
+    MigrationMachine &machine_;
+    uint64_t offset_;
+    uint64_t warmup_;
+    bool warmedUp_ = false;
+};
+
+} // namespace
+
+const char *
+arenaModeName(ArenaMode mode)
+{
+    switch (mode) {
+      case ArenaMode::Migration:
+        return "migration";
+      case ArenaMode::Throughput:
+        return "throughput";
+    }
+    return "unknown";
+}
+
+/** One tenant: machine + pull-inverted reference stream. */
+struct TenantArena::Session
+{
+    unsigned tenant = 0;
+    TenantSpec spec;
+    unsigned cluster = 0;
+    std::unique_ptr<MigrationMachine> machine;
+    BatchQueue queue;
+    std::thread producer;
+    BatchQueue::Chunk pending;
+    uint32_t pendingPos = 0;
+    bool streamDone = false; ///< queue closed and drained
+    bool admitted = false;
+    obs::Histogram turnCycles;
+    double cycles = 0;      ///< accumulated stall-model cycles
+    double startCycles = 0; ///< throughput mode: slot start offset
+    uint64_t turns = 0;
+
+    explicit Session(size_t queue_slots) : queue(queue_slots) {}
+
+    /** All references consumed (stream drained past the last chunk). */
+    bool
+    drained() const
+    {
+        return streamDone && pendingPos >= pending.count;
+    }
+};
+
+TenantArena::TenantArena(ArenaConfig config) : config_(std::move(config))
+{
+    XMIG_ASSERT(!config_.tenants.empty(),
+                "an arena needs at least one tenant");
+    XMIG_ASSERT(config_.sharedL3Bytes > 0 && config_.sharedL3Ways > 0,
+                "arena shared L3 must be finite (got %llu bytes)",
+                (unsigned long long)config_.sharedL3Bytes);
+    XMIG_ASSERT(config_.machine.faultPlan.empty(),
+                "fault plans are per-machine; arena tenants do not "
+                "support them yet");
+    probeTenants();
+    buildSharedL3();
+    buildSessions();
+}
+
+TenantArena::~TenantArena()
+{
+    for (auto &session : sessions_) {
+        // Unblock a producer mid-push (run() never reached its
+        // stream, or an exception unwound the schedule), then join.
+        session->queue.cancel();
+        if (session->producer.joinable())
+            session->producer.join();
+    }
+}
+
+void
+TenantArena::attachJournal(obs::Journal *journal)
+{
+    journal_ = journal;
+}
+
+void
+TenantArena::probeTenants()
+{
+    // Solo baseline: each tenant runs alone for a short, fixed budget
+    // on a machine with the *whole* shared L3 to itself. The probe
+    // yields the appetite score for clustering/co-location and the
+    // per-instruction solo cost that slowdowns are measured against.
+    probes_.reserve(config_.tenants.size());
+    for (size_t i = 0; i < config_.tenants.size(); ++i) {
+        const TenantSpec &spec = config_.tenants[i];
+        MachineConfig mc = config_.machine;
+        mc.numCores = config_.mode == ArenaMode::Migration
+                          ? config_.machine.numCores
+                          : 1;
+        mc.sharedL3 = nullptr;
+        mc.l3Bytes = config_.sharedL3Bytes;
+        mc.l3Ways = config_.sharedL3Ways;
+        MigrationMachine machine(mc);
+        ProbeSink sink(machine,
+                       static_cast<uint64_t>(i) *
+                           kTenantAddressStride,
+                       config_.probeInstructions / 2);
+        std::unique_ptr<Workload> workload =
+            makeWorkload(spec.benchmark);
+        workload->run(sink, config_.probeInstructions, spec.seed);
+        const MachineStats &s = machine.stats();
+        TenantProbe probe;
+        probe.instructions = s.instructions;
+        probe.refs = s.refs;
+        probe.l2Misses = s.l2Misses;
+        probe.l3Misses = s.l3Misses;
+        probe.soloCycles = turnCost(MachineStats{}, s);
+        XMIG_AUDIT(probe.instructions > 0,
+                   "tenant %zu probe executed no instructions", i);
+        probes_.push_back(probe);
+    }
+}
+
+void
+TenantArena::buildSharedL3()
+{
+    if (config_.l3Policy == L3Policy::WayClustered) {
+        clusters_ = clusterTenants(probes_, config_.sharedL3Ways);
+    } else {
+        ClusterSpec all;
+        all.ways = config_.sharedL3Ways;
+        for (unsigned i = 0; i < probes_.size(); ++i)
+            all.tenants.push_back(i);
+        clusters_ = {all};
+    }
+    XMIG_ASSERT(!clusters_.empty(), "L3 clustering returned nothing");
+    const uint64_t bytesPerWay =
+        config_.sharedL3Bytes / config_.sharedL3Ways;
+    for (const ClusterSpec &cluster : clusters_) {
+        CacheConfig c;
+        c.capacityBytes =
+            std::max<uint64_t>(bytesPerWay * cluster.ways,
+                               config_.machine.lineBytes);
+        c.ways = std::max(1u, cluster.ways);
+        c.lineBytes = config_.machine.lineBytes;
+        c.write = WritePolicy::WriteBackAllocate;
+        c.skewed = false;
+        c.seed = 99;
+        sharedL3_.push_back(std::make_unique<Cache>(c));
+    }
+}
+
+void
+TenantArena::buildSessions()
+{
+    sessions_.reserve(config_.tenants.size());
+    for (size_t i = 0; i < config_.tenants.size(); ++i) {
+        auto session = std::make_unique<Session>(config_.queueSlots);
+        session->tenant = static_cast<unsigned>(i);
+        session->spec = config_.tenants[i];
+        for (size_t k = 0; k < clusters_.size(); ++k) {
+            const auto &members = clusters_[k].tenants;
+            if (std::find(members.begin(), members.end(),
+                          static_cast<unsigned>(i)) != members.end())
+                session->cluster = static_cast<unsigned>(k);
+        }
+        MachineConfig mc = config_.machine;
+        mc.numCores = config_.mode == ArenaMode::Migration
+                          ? config_.machine.numCores
+                          : 1;
+        mc.l3Bytes = 0;
+        mc.sharedL3 = sharedL3_[session->cluster].get();
+        session->machine = std::make_unique<MigrationMachine>(mc);
+        XMIG_ASSERT(session->machine->sharesL3(),
+                    "tenant %zu machine did not adopt the shared L3",
+                    i);
+        sessions_.push_back(std::move(session));
+    }
+    // Producers start only after every session exists: construction
+    // order stays deterministic and nothing races the probe phase.
+    for (auto &sessionPtr : sessions_) {
+        Session &session = *sessionPtr;
+        const uint64_t offset =
+            static_cast<uint64_t>(session.tenant) *
+            kTenantAddressStride;
+        session.producer = std::thread([&session, offset] {
+            try {
+                TenantFeedSink sink(session.queue, offset);
+                std::unique_ptr<Workload> workload =
+                    makeWorkload(session.spec.benchmark);
+                workload->run(sink, session.spec.instructions,
+                              session.spec.seed);
+                sink.flush();
+            } catch (const StreamCancelled &) {
+                // Consumer abandoned the stream; just exit.
+            }
+            session.queue.close();
+        });
+    }
+}
+
+double
+TenantArena::turnCost(const MachineStats &before,
+                const MachineStats &after) const
+{
+    XMIG_AUDIT(after.refs >= before.refs &&
+                   after.instructions >= before.instructions,
+               "machine counters ran backwards across a turn");
+    const double cycles = estimatedCycles(
+        after.instructions - before.instructions,
+        after.l2Misses - before.l2Misses,
+        after.migrations - before.migrations,
+        config_.timing.stall);
+    return cycles +
+           config_.timing.memPenalty *
+               static_cast<double>(after.l3Misses - before.l3Misses);
+}
+
+ArenaResult
+TenantArena::run()
+{
+    XMIG_ASSERT(!ran_, "TenantArena::run() is one-shot");
+    ran_ = true;
+    // Journal the partition choice first: the journal is attached
+    // after construction, so the clustering decision is replayed
+    // here, at the head of the schedule's timeline.
+    for (size_t k = 0; k < clusters_.size(); ++k) {
+        for (unsigned tenant : clusters_[k].tenants) {
+            XMIG_JOURNAL(journal_, obs::JournalKind::TenantPartition,
+                         obs::JournalCause::Tenant, tenant,
+                         static_cast<int64_t>(k),
+                         clusters_[k].ways);
+        }
+    }
+    TenantScheduler sched(config_.sched, probes_);
+    // Fill the initial resident set in co-location order.
+    for (unsigned t = sched.admitNext();
+         t != TenantScheduler::kNone; t = sched.admitNext()) {
+        sessions_[t]->admitted = true;
+        XMIG_JOURNAL(journal_, obs::JournalKind::TenantAdmit,
+                     obs::JournalCause::Tenant, t,
+                     static_cast<int64_t>(sched.residentCount() - 1),
+                     static_cast<int64_t>(
+                         sched.colocationScore(t) * 1000.0));
+    }
+    const double makespan =
+        config_.mode == ArenaMode::Migration
+            ? runMigrationSchedule(sched)
+            : runThroughputSchedule(sched);
+    XMIG_ASSERT(sched.allFinished(),
+                "arena schedule ended with tenants outstanding");
+
+    ArenaResult result;
+    result.makespanCycles = makespan;
+    std::vector<double> slowdowns;
+    double totalInstructions = 0;
+    for (const auto &sessionPtr : sessions_) {
+        const Session &session = *sessionPtr;
+        const MachineStats &s = session.machine->stats();
+        const TenantProbe &probe = probes_[session.tenant];
+        TenantResult tr;
+        tr.benchmark = session.spec.benchmark;
+        tr.instructions = s.instructions;
+        tr.refs = s.refs;
+        tr.l2Misses = s.l2Misses;
+        tr.l3Accesses = s.l3Accesses;
+        tr.l3Misses = s.l3Misses;
+        tr.migrations = s.migrations;
+        tr.turns = session.turns;
+        tr.cycles = session.cycles;
+        const double soloCpi =
+            probe.instructions > 0
+                ? probe.soloCycles /
+                      static_cast<double>(probe.instructions)
+                : config_.timing.stall.baseCpi;
+        tr.soloCycles =
+            soloCpi * static_cast<double>(s.instructions);
+        tr.slowdown = tr.soloCycles > 0
+                          ? tr.cycles / tr.soloCycles
+                          : 1.0;
+        tr.p50TurnCycles = session.turnCycles.percentile(50.0);
+        tr.p95TurnCycles = session.turnCycles.percentile(95.0);
+        tr.p99TurnCycles = session.turnCycles.percentile(99.0);
+        tr.cluster = session.cluster;
+        tr.clusterWays = clusters_[session.cluster].ways;
+        slowdowns.push_back(tr.slowdown);
+        totalInstructions += static_cast<double>(s.instructions);
+        if (tr.cycles > 0)
+            result.weightedSpeedup += tr.soloCycles / tr.cycles;
+        result.tenants.push_back(std::move(tr));
+    }
+    result.aggregateIpc =
+        makespan > 0 ? totalInstructions / makespan : 0.0;
+    result.unfairness = xmig::unfairness(slowdowns);
+    result.jainFairness = jainFairnessIndex(slowdowns);
+    for (const auto &cache : sharedL3_) {
+        result.sharedL3Accesses += cache->stats().accesses;
+        result.sharedL3Misses += cache->stats().misses;
+    }
+    return result;
+}
+
+/**
+ * Feed up to `budget` references from the session's stream into its
+ * machine. Returns the number actually fed (short only when the
+ * stream ends). Runs on the arena's consumer thread.
+ */
+uint64_t
+TenantArena::feedQuantum(Session &session, uint64_t budget)
+{
+    uint64_t fed = 0;
+    while (fed < budget && !session.drained()) {
+        if (session.pendingPos >= session.pending.count) {
+            if (!session.queue.pop(session.pending)) {
+                session.streamDone = true;
+                session.pending.count = 0;
+                session.pendingPos = 0;
+                break;
+            }
+            session.pendingPos = 0;
+        }
+        const uint64_t inChunk =
+            session.pending.count - session.pendingPos;
+        const uint64_t n = std::min<uint64_t>(inChunk, budget - fed);
+        session.machine->accessBatch(
+            &session.pending.refs[session.pendingPos],
+            static_cast<size_t>(n));
+        session.pendingPos += static_cast<uint32_t>(n);
+        fed += n;
+    }
+    XMIG_ASSERT(fed <= budget &&
+                    session.pendingPos <= session.pending.count,
+                "feedQuantum overran its budget or its chunk "
+                "(fed %llu of %llu, pos %u of %u)",
+                static_cast<unsigned long long>(fed),
+                static_cast<unsigned long long>(budget),
+                session.pendingPos, session.pending.count);
+    return fed;
+}
+
+/**
+ * One scheduling turn: feed the tenant its budget, account the
+ * stall-model cost, journal the decision, retire the tenant if its
+ * stream drained. `serial_time` selects the makespan arithmetic:
+ * migration mode time-shares the chip (makespan = sum of turn
+ * costs), throughput mode space-shares it (makespan = latest
+ * per-slot completion).
+ */
+void
+TenantArena::runTurn(TenantScheduler &sched, unsigned tenant,
+               double *makespan, bool serial_time)
+{
+    Session &session = *sessions_[tenant];
+    XMIG_ASSERT(session.admitted,
+                "turn granted to unadmitted tenant %u", tenant);
+    const uint64_t budget = sched.turnBudget(tenant);
+    const MachineStats before = session.machine->stats();
+    const uint64_t fed = feedQuantum(session, budget);
+    const double cost = turnCost(before, session.machine->stats());
+    session.cycles += cost;
+    session.turns += 1;
+    session.turnCycles.record(static_cast<uint64_t>(cost));
+    if (serial_time)
+        *makespan += cost;
+    refClock_ += fed;
+    XMIG_JOURNAL_CLOCK(journal_, refClock_);
+    XMIG_JOURNAL(journal_, obs::JournalKind::TenantTurn,
+                 obs::JournalCause::Tenant, tenant,
+                 static_cast<int64_t>(fed),
+                 static_cast<int64_t>(cost));
+    sched.onTurnEnd(tenant, fed);
+    if (session.drained()) {
+        const double completion =
+            serial_time ? *makespan
+                        : session.startCycles + session.cycles;
+        if (!serial_time)
+            *makespan = std::max(*makespan, completion);
+        retireTenant(sched, tenant, completion);
+    }
+}
+
+double
+TenantArena::runMigrationSchedule(TenantScheduler &sched)
+{
+    // Migration mode: exactly one tenant runs at a time, roaming the
+    // aggregate L2 with its own affinity controller.
+    double makespan = 0.0;
+    while (!sched.allFinished()) {
+        const unsigned t = sched.nextTurn();
+        XMIG_ASSERT(t != TenantScheduler::kNone,
+                    "unfinished schedule granted no turn");
+        runTurn(sched, t, &makespan, /*serial_time=*/true);
+    }
+    return makespan;
+}
+
+double
+TenantArena::runThroughputSchedule(TenantScheduler &sched)
+{
+    // Throughput mode: residents advance concurrently in simulated
+    // time on pinned cores. The round-robin quantum interleave is
+    // what arbitrates shared-L3 contention — a pure function of the
+    // schedule, hence deterministic at any --jobs.
+    double makespan = 0.0;
+    while (!sched.allFinished()) {
+        const unsigned t = sched.nextTurn();
+        XMIG_ASSERT(t != TenantScheduler::kNone,
+                    "unfinished schedule granted no turn");
+        runTurn(sched, t, &makespan, /*serial_time=*/false);
+    }
+    return makespan;
+}
+
+void
+TenantArena::retireTenant(TenantScheduler &sched, unsigned tenant,
+                    double now_cycles)
+{
+    Session &session = *sessions_[tenant];
+    XMIG_ASSERT(session.drained(),
+                "retiring tenant %u with stream outstanding", tenant);
+    sched.onFinish(tenant);
+    XMIG_JOURNAL(journal_, obs::JournalKind::TenantFinish,
+                 obs::JournalCause::Tenant, tenant,
+                 static_cast<int64_t>(session.machine->stats().refs),
+                 static_cast<int64_t>(session.cycles));
+    const unsigned next = sched.admitNext();
+    if (next != TenantScheduler::kNone) {
+        Session &admitted = *sessions_[next];
+        admitted.admitted = true;
+        // The newcomer inherits the freed slot: in throughput mode
+        // its virtual clock starts at the finisher's completion.
+        admitted.startCycles = now_cycles;
+        XMIG_JOURNAL(journal_, obs::JournalKind::TenantAdmit,
+                     obs::JournalCause::Tenant, next,
+                     static_cast<int64_t>(sched.residentCount() - 1),
+                     static_cast<int64_t>(
+                         sched.colocationScore(next) * 1000.0));
+    }
+}
+
+void
+TenantArena::registerMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix) const
+{
+    for (const auto &sessionPtr : sessions_) {
+        const Session &session = *sessionPtr;
+        const std::string base =
+            prefix + ".tenant" + std::to_string(session.tenant);
+        session.machine->registerMetrics(registry, base);
+        registry.addHistogram(base + ".turn_cycles",
+                              &session.turnCycles);
+    }
+    for (size_t k = 0; k < sharedL3_.size(); ++k) {
+        registerCacheMetrics(registry,
+                             prefix + ".l3.cluster" +
+                                 std::to_string(k),
+                             *sharedL3_[k]);
+    }
+}
+
+} // namespace xmig

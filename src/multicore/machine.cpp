@@ -65,7 +65,11 @@ MigrationMachine::MigrationMachine(const MachineConfig &config)
     if (config.prefetch.kind != PrefetchKind::None)
         prefetcher_ = std::make_unique<Prefetcher>(config.prefetch);
 
-    if (config.l3Bytes > 0) {
+    if (config.sharedL3 != nullptr) {
+        // xmig-arena: contend for a caller-owned cache; the private
+        // l3Bytes geometry is irrelevant and must not also be built.
+        l3view_ = config.sharedL3;
+    } else if (config.l3Bytes > 0) {
         CacheConfig l3c;
         l3c.capacityBytes = config.l3Bytes;
         l3c.ways = config.l3Ways;
@@ -74,6 +78,7 @@ MigrationMachine::MigrationMachine(const MachineConfig &config)
         l3c.skewed = false;
         l3c.seed = 99;
         l3_ = std::make_unique<Cache>(l3c);
+        l3view_ = l3_.get();
     }
 }
 
@@ -429,10 +434,10 @@ MigrationMachine::issuePrefetches(uint64_t line, bool miss)
 void
 MigrationMachine::fetchFromL3(uint64_t line)
 {
-    if (!l3_)
+    if (!l3view_)
         return; // perfect L3: always hits, nothing to track
     ++stats_.l3Accesses;
-    AccessOutcome out = l3_->access(line, false);
+    AccessOutcome out = l3view_->access(line, false);
     if (out.writeback)
         ++stats_.memoryWritebacks;
     if (!out.hit)
@@ -451,11 +456,11 @@ MigrationMachine::writebackToL3(uint64_t line)
     XMIG_AUDIT(stats_.l3Writebacks > 0,
                "write-back of line %llx reached L3 uncounted",
                (unsigned long long)line);
-    if (!l3_)
+    if (!l3view_)
         return;
     // A write-back allocates in the L3 and marks the line dirty; a
     // dirty L3 eviction goes to memory.
-    AccessOutcome out = l3_->access(line, true);
+    AccessOutcome out = l3view_->access(line, true);
     if (out.writeback)
         ++stats_.memoryWritebacks;
 }

@@ -67,6 +67,19 @@ struct MachineConfig
     uint64_t l3Bytes = 0;
     unsigned l3Ways = 16;
 
+    /**
+     * Non-owning shared L3 (xmig-arena): when set, the machine routes
+     * its L3 traffic through this caller-owned cache instead of
+     * building a private one (l3Bytes is then ignored), so N tenant
+     * machines contend for one finite capacity. The caller keeps the
+     * cache alive for the machine's lifetime and drives every sharing
+     * machine from a single thread — the arena's consumer — which is
+     * the thread-safety story (confinement, docs/analysis.md).
+     * Checkpoints cover only machine-owned state; arena code
+     * snapshots the shared cache itself if it needs to.
+     */
+    Cache *sharedL3 = nullptr;
+
     MigrationControllerConfig controller = defaultController();
 
     /**
@@ -207,8 +220,15 @@ class MigrationMachine : public RefSink, private LineSink
     const Cache &l2(unsigned core) const { return *l2s_[core]; }
     const L1Filter &l1() const { return *l1_; }
 
-    /** Shared L3 (nullptr in perfect-L3 mode). */
-    const Cache *l3() const { return l3_.get(); }
+    /**
+     * The L3 this machine's traffic lands in: the caller's shared
+     * cache when config.sharedL3 is set, the private one when
+     * l3Bytes > 0, nullptr in perfect-L3 mode.
+     */
+    const Cache *l3() const { return l3view_; }
+
+    /** True when the L3 is caller-owned (config.sharedL3). */
+    bool sharesL3() const { return config_.sharedL3 != nullptr; }
 
     /** Controller access (null when numCores == 1). */
     const MigrationController *controller() const
@@ -304,6 +324,7 @@ class MigrationMachine : public RefSink, private LineSink
     std::unique_ptr<L1Filter> l1_;
     std::vector<std::unique_ptr<Cache>> l2s_;
     std::unique_ptr<Cache> l3_;
+    Cache *l3view_ = nullptr; ///< shared or owned L3 (null = perfect)
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<MigrationController> controller_;
     std::unique_ptr<Prefetcher> prefetcher_;
@@ -318,5 +339,14 @@ class MigrationMachine : public RefSink, private LineSink
     uint64_t lastMigrationRef_ = 0;
     MachineStats stats_;
 };
+
+/**
+ * Register one cache's counters (`<prefix>.accesses`, `.hits`,
+ * `.misses`, `.writebacks`, `.occupancy`). Machines use it for their
+ * private levels; the arena uses it to register a shared L3 once.
+ */
+void registerCacheMetrics(obs::MetricsRegistry &registry,
+                          const std::string &prefix,
+                          const Cache &cache);
 
 } // namespace xmig

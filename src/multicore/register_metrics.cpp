@@ -11,8 +11,8 @@
 
 namespace xmig {
 
-namespace {
-
+// Shared with arena.cpp (declared in machine.hpp), which registers
+// the arena-owned shared L3 exactly once instead of per machine.
 void
 registerCacheMetrics(obs::MetricsRegistry &registry,
                      const std::string &prefix, const Cache &cache)
@@ -26,8 +26,6 @@ registerCacheMetrics(obs::MetricsRegistry &registry,
         return static_cast<double>(cache.tags().occupancy());
     });
 }
-
-} // namespace
 
 void
 MigrationMachine::registerMetrics(obs::MetricsRegistry &registry,

@@ -110,6 +110,14 @@ journalKindName(JournalKind kind)
         return "coherence_scrub";
       case JournalKind::ShadowDisarm:
         return "shadow_disarm";
+      case JournalKind::TenantAdmit:
+        return "tenant_admit";
+      case JournalKind::TenantTurn:
+        return "tenant_turn";
+      case JournalKind::TenantFinish:
+        return "tenant_finish";
+      case JournalKind::TenantPartition:
+        return "tenant_partition";
       case JournalKind::kCount:
         break;
     }
@@ -138,6 +146,8 @@ journalCauseName(JournalCause cause)
         return "plan_event";
       case JournalCause::Explicit:
         return "explicit";
+      case JournalCause::Tenant:
+        return "tenant";
       case JournalCause::kCount:
         break;
     }
@@ -175,6 +185,14 @@ journalArgNames(JournalKind kind)
     static const char *const kCkpt[] = {"refs", nullptr};
     static const char *const kScrub[] = {"repairs", "tick", nullptr};
     static const char *const kDisarm[] = {"refs", nullptr};
+    static const char *const kAdmit[] = {"tenant", "slot", "score",
+                                         nullptr};
+    static const char *const kTurn[] = {"tenant", "refs", "cycles",
+                                        nullptr};
+    static const char *const kFinish[] = {"tenant", "refs", "cycles",
+                                          nullptr};
+    static const char *const kPartition[] = {"tenant", "cluster",
+                                             "ways", nullptr};
     static const char *const kNone[] = {nullptr};
     switch (kind) {
       case JournalKind::Migration:
@@ -214,6 +232,14 @@ journalArgNames(JournalKind kind)
         return kScrub;
       case JournalKind::ShadowDisarm:
         return kDisarm;
+      case JournalKind::TenantAdmit:
+        return kAdmit;
+      case JournalKind::TenantTurn:
+        return kTurn;
+      case JournalKind::TenantFinish:
+        return kFinish;
+      case JournalKind::TenantPartition:
+        return kPartition;
       case JournalKind::kCount:
         break;
     }

@@ -69,6 +69,10 @@ enum class JournalKind : uint8_t {
     Restore,          ///< state restored: {refs}
     CoherenceScrub,   ///< update-bus scrub pass: {repairs, tick}
     ShadowDisarm,     ///< shadow oracle disarmed: {refs}
+    TenantAdmit,      ///< arena admitted a tenant: {tenant, slot, score}
+    TenantTurn,       ///< scheduler granted a quantum: {tenant, refs, cycles}
+    TenantFinish,     ///< tenant retired its budget: {tenant, refs, cycles}
+    TenantPartition,  ///< shared-L3 cluster assigned: {tenant, cluster, ways}
     kCount
 };
 
@@ -83,6 +87,7 @@ enum class JournalCause : uint8_t {
     Livelock,       ///< ping-pong livelock detection
     PlanEvent,      ///< scheduled by the fault plan
     Explicit,       ///< explicit API call (checkpoint(), restore())
+    Tenant,         ///< multi-tenant arena scheduling decision
     kCount
 };
 

@@ -17,6 +17,8 @@
  *                  (docs/parallelism.md); N must be positive
  *   --smoke        CI-sized run: harnesses shrink budgets and sweep
  *                  ranges to finish in seconds
+ *   --csv F        write the machine-readable result table to F
+ *                  (harnesses that emit one, e.g. bench_figure1)
  *
  *
  * xmig-scope outputs (harnesses that run a machine; applied to the
@@ -55,6 +57,7 @@ struct BenchOptions
     uint64_t seed = 42;
     std::vector<std::string> benchmarks; ///< empty = all
 
+    std::string csvOut;        ///< "" = no CSV dump (bench_figure1)
     std::string metricsOut;    ///< "" = no metrics dump
     std::string samplesOut;    ///< "" = no time-series dump
     std::string traceOut;      ///< "" = no trace
@@ -155,6 +158,8 @@ struct BenchOptions
                 opt.seed = parseCount("--seed", next());
             else if (arg == "--bench")
                 opt.benchmarks.emplace_back(next());
+            else if (arg == "--csv")
+                opt.csvOut = next();
             else if (arg == "--metrics-out")
                 opt.metricsOut = next();
             else if (arg == "--samples-out")

@@ -1,16 +1,24 @@
 /**
  * @file
- * Bounded chunk queue for intra-cell machine pipelining (xmig-bolt).
+ * Bounded chunk queue for intra-cell machine pipelining (xmig-bolt)
+ * and per-tenant reference streams (xmig-arena).
  *
  * runQuadcore's pipelined feed mode runs the baseline and migration
  * machines of one Table-2 cell on two JobPool workers: the producer
  * feeds the baseline inline and hands reference chunks to this queue;
  * the consumer drains them into the migration machine. The queue is
  * strictly single-producer single-consumer, bounded (back-pressure
- * keeps the two machines within kSlots chunks of each other, so
+ * keeps the two machines within capacity() chunks of each other, so
  * memory stays O(1)), and FIFO — the consumer sees exactly the
  * producer's reference order, which is what makes the pipelined run
  * byte-identical to the serial one (docs/parallelism.md, "batching").
+ *
+ * xmig-arena reuses the queue as a pull-inversion adapter: each
+ * tenant Session runs its push-model Workload on a producer thread
+ * feeding a BatchQueue, and the arena's single consumer thread pops
+ * chunks in whatever interleave the tenant scheduler dictates. The
+ * consumer-side cancel() lets the arena tear a session down while
+ * its producer is blocked in push() mid-stream.
  *
  * A mutex + two condition variables, not a lock-free ring: one
  * handoff per K=64 references means the lock is touched ~16k times
@@ -24,9 +32,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "mem/ref.hpp"
 #include "multicore/machine.hpp"
+#include "util/contracts.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace xmig {
@@ -36,7 +46,7 @@ class BatchQueue
 {
   public:
     static constexpr size_t kChunkRefs = MigrationMachine::kBatchRefs;
-    static constexpr size_t kSlots = 8;
+    static constexpr size_t kDefaultSlots = 8;
 
     /** One producer-to-consumer handoff. */
     struct Chunk
@@ -53,18 +63,34 @@ class BatchQueue
         int32_t resetAfter = -1;
     };
 
-    /** Block until a slot frees, then enqueue a copy of `chunk`. */
-    void
+    explicit BatchQueue(size_t slots = kDefaultSlots)
+        : slots_(slots > 0 ? slots : 1), ring_(slots_)
+    {
+        XMIG_EXPECT(slots > 0, "BatchQueue slots clamped up from 0");
+    }
+
+    /** Ring capacity in chunks (fixed at construction). */
+    size_t capacity() const { return slots_; }
+
+    /**
+     * Block until a slot frees, then enqueue a copy of `chunk`.
+     * Returns false — with the chunk dropped — once the consumer has
+     * cancelled the stream; producers must unwind, not keep pushing.
+     */
+    bool
     push(const Chunk &chunk)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        while (used_ >= kSlots)
+        while (used_ >= slots_ && !cancelled_)
             notFull_.wait(lock);
+        if (cancelled_)
+            return false;
         ring_[tail_] = chunk;
-        tail_ = (tail_ + 1) % kSlots;
+        tail_ = (tail_ + 1) % slots_;
         ++used_;
         lock.unlock();
         notEmpty_.notify_one();
+        return true;
     }
 
     /**
@@ -80,7 +106,7 @@ class BatchQueue
         if (used_ == 0)
             return false;
         out = ring_[head_];
-        head_ = (head_ + 1) % kSlots;
+        head_ = (head_ + 1) % slots_;
         --used_;
         lock.unlock();
         notFull_.notify_one();
@@ -98,15 +124,46 @@ class BatchQueue
         notEmpty_.notify_all();
     }
 
+    /**
+     * Consumer abandons the stream: discards buffered chunks and
+     * makes every pending and future push() return false so the
+     * producer thread can unwind. Also closes the queue, so a
+     * subsequent pop() returns false rather than blocking.
+     */
+    void
+    cancel()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cancelled_ = true;
+            closed_ = true;
+            used_ = 0;
+            head_ = 0;
+            tail_ = 0;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    /** True once cancel() has been called. */
+    bool
+    cancelled() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return cancelled_;
+    }
+
   private:
-    std::mutex mutex_;
+    const size_t slots_;
+    mutable std::mutex mutex_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
-    std::array<Chunk, kSlots> ring_ XMIG_GUARDED_BY(mutex_);
+    std::vector<Chunk> ring_ XMIG_GUARDED_BY(mutex_);
     size_t head_ XMIG_GUARDED_BY(mutex_) = 0;
     size_t tail_ XMIG_GUARDED_BY(mutex_) = 0;
     size_t used_ XMIG_GUARDED_BY(mutex_) = 0;
     bool closed_ XMIG_GUARDED_BY(mutex_) = false;
+    bool cancelled_ XMIG_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace xmig

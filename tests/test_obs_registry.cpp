@@ -327,5 +327,104 @@ TEST(HistogramPercentile, ExportersCarryPercentiles)
     EXPECT_NE(table.find("p99"), std::string::npos) << table;
 }
 
+TEST(HistogramPercentile, ZeroHeavyMassKeepsOutlierInTheTail)
+{
+    // 99 zeros and one large sample: the median must stay exactly
+    // zero (bucket 0 is v == 0, no smear into it) and only the very
+    // tail may see the outlier. This is the shape of an arena turn
+    // histogram when one tenant stalls once.
+    Histogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(0);
+    h.record(1024);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(95), 0.0);
+    EXPECT_GE(h.percentile(100), 1024.0);
+    EXPECT_LE(h.percentile(99), h.percentile(100));
+}
+
+TEST(HistogramPercentile, SaturatingSampleStaysFinite)
+{
+    // The open-ended last bucket absorbs UINT64_MAX; the percentile
+    // must come back finite (its nominal span), not inf/nan.
+    Histogram h;
+    h.record(~0ull);
+    const double p50 = h.percentile(50);
+    EXPECT_TRUE(std::isfinite(p50));
+    EXPECT_GT(p50, 0.0);
+    EXPECT_TRUE(std::isfinite(h.percentile(100)));
+}
+
+TEST(HistogramPercentile, ResetRestoresTheEmptyState)
+{
+    Histogram h;
+    h.record(7);
+    h.record(70000);
+    ASSERT_GT(h.percentile(50), 0.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);
+    uint64_t total = 0;
+    for (uint64_t b : h.buckets())
+        total += b;
+    EXPECT_EQ(total, 0u);
+}
+
+TEST(Registry, CounterSnapshotOrderIsByteLexicographic)
+{
+    // Arena metric paths embed tenant indices ("tenant10" vs
+    // "tenant2"): the snapshot contract is plain byte order, not
+    // numeric order, and '.' sorts before digits — pin that down so
+    // exporters and diff tools agree forever.
+    MetricsRegistry r;
+    uint64_t v1 = 1, v2 = 2, v3 = 3, v4 = 4;
+    EXPECT_TRUE(r.addCounter("a.tenant2.refs", &v1));
+    EXPECT_TRUE(r.addCounter("a.tenant10.refs", &v2));
+    EXPECT_TRUE(r.addCounter("a.tenant1.refs", &v3));
+    EXPECT_TRUE(r.addCounter("a.tenant1", &v4));
+    const auto snap = r.counterSnapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap[0].name, "a.tenant1");
+    EXPECT_EQ(snap[1].name, "a.tenant1.refs");
+    EXPECT_EQ(snap[2].name, "a.tenant10.refs");
+    EXPECT_EQ(snap[3].name, "a.tenant2.refs");
+}
+
+TEST(Registry, CounterSnapshotIsStableAcrossCallsAndInsertions)
+{
+    // Repeated snapshots must agree element-for-element, and a later
+    // registration must only insert — never reorder the others.
+    MetricsRegistry r;
+    uint64_t z = 26, a = 1;
+    EXPECT_TRUE(r.addCounter("zulu", &z));
+    EXPECT_TRUE(r.addCounter("alpha", &a));
+    const auto first = r.counterSnapshot();
+    const auto second = r.counterSnapshot();
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].name, second[i].name);
+        EXPECT_EQ(first[i].value, second[i].value);
+    }
+    uint64_t m = 13;
+    EXPECT_TRUE(r.addCounter("mike", &m));
+    const auto third = r.counterSnapshot();
+    ASSERT_EQ(third.size(), 3u);
+    EXPECT_EQ(third[0].name, "alpha");
+    EXPECT_EQ(third[1].name, "mike");
+    EXPECT_EQ(third[2].name, "zulu");
+    EXPECT_TRUE(r.counterSnapshot().empty() == false);
+}
+
+TEST(Registry, EmptyAndCounterlessRegistriesSnapshotEmpty)
+{
+    MetricsRegistry r;
+    EXPECT_TRUE(r.counterSnapshot().empty());
+    Histogram h;
+    EXPECT_TRUE(r.addGauge("g", [] { return 1.0; }));
+    EXPECT_TRUE(r.addHistogram("h", &h));
+    EXPECT_TRUE(r.counterSnapshot().empty())
+        << "gauges and histograms are not counters";
+}
+
 } // namespace
 } // namespace xmig::obs

@@ -110,6 +110,55 @@ TEST(ParallelDeterminism, JournalIsByteIdenticalAcrossJobs)
     EXPECT_EQ(serial, journalAt(8));
 }
 
+/**
+ * bench_figure1 runs a multi-tenant arena per cell: every cell owns
+ * producer threads and a shared L3, so this exercises xmig-arena's
+ * claim that reference-interleave arbitration is deterministic at
+ * any job count. A reduced mix set and budget keep it CI-sized —
+ * byte-identity does not need the full crossover sweep.
+ */
+std::string
+figure1(const std::string &extra)
+{
+    return capture("env -u XMIG_JOBS " XMIG_BENCH_DIR
+                   "/bench_figure1 --instr 400000"
+                   " --bench em3d+health"
+                   " --bench bisort+mst+twolf+vortex " +
+                   extra + " 2>/dev/null");
+}
+
+TEST(ParallelDeterminism, Figure1IsByteIdenticalAcrossJobs)
+{
+    const std::string serial = figure1("--jobs 1");
+    ASSERT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("Crossover"), std::string::npos);
+    EXPECT_EQ(serial, figure1("--jobs 3"));
+    EXPECT_EQ(serial, figure1("--jobs 8"));
+}
+
+TEST(ParallelDeterminism, Figure1CsvIsByteIdenticalAcrossJobs)
+{
+    // The --csv artifact is what CI uploads; it must hold the same
+    // bytes whatever worker count produced it.
+    const std::string dir = testing::TempDir();
+    auto csvAt = [&](int jobs) {
+        const std::string path =
+            dir + "xmig_pd_fig1_j" + std::to_string(jobs) + ".csv";
+        figure1("--jobs " + std::to_string(jobs) + " --csv " + path);
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good()) << path;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::remove(path.c_str());
+        return ss.str();
+    };
+    const std::string serial = csvAt(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_NE(serial.find("# crossover:"), std::string::npos);
+    EXPECT_EQ(serial, csvAt(3));
+    EXPECT_EQ(serial, csvAt(8));
+}
+
 TEST(ParallelDeterminism, JobsEnvironmentVariableIsHonored)
 {
     const std::string serial = table2("--jobs 1");

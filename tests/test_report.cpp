@@ -264,6 +264,36 @@ TEST(Gate, HostMetadataMismatchRefusesComparison)
     EXPECT_FALSE(r.refused);
 }
 
+TEST(Gate, RefusalNamesTheFirstMismatchedKey)
+{
+    // The refusal line must say *which* key disagreed, not just
+    // that host metadata differs. host_cores is checked first.
+    DiffResult r = diffTexts(kBenchA,
+                             benchWith(20.0, 30.0, "12.2.0", 64),
+                             kGate);
+    ASSERT_TRUE(r.refused);
+    EXPECT_NE(
+        r.render().find("first mismatched key: host_cores"),
+        std::string::npos)
+        << r.render();
+
+    // Same cores, different compiler: the message names compiler.
+    r = diffTexts(kBenchA, benchWith(20.0, 30.0, "13.1.0", 4), kGate);
+    ASSERT_TRUE(r.refused);
+    EXPECT_NE(r.render().find("first mismatched key: compiler"),
+              std::string::npos)
+        << r.render();
+
+    // Both differ: host_cores wins as the first checked key.
+    r = diffTexts(kBenchA, benchWith(20.0, 30.0, "13.1.0", 64),
+                  kGate);
+    ASSERT_TRUE(r.refused);
+    EXPECT_NE(
+        r.render().find("first mismatched key: host_cores"),
+        std::string::npos)
+        << r.render();
+}
+
 TEST(Gate, GatedKeyMissingFromRunFails)
 {
     const DiffResult r = diffTexts(

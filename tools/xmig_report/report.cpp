@@ -767,10 +767,18 @@ diffBench(const std::string &ta, const std::string &tb,
     if (gate.requireSameHost &&
         (a.hostCores != b.hostCores || a.compiler != b.compiler)) {
         out->refused = true;
+        // Name the first differing key outright: "host metadata
+        // differs" alone sends the user diffing two JSON files by
+        // hand to learn it was host_cores all along.
+        const char *firstKey = a.hostCores != b.hostCores
+                                   ? "host_cores"
+                                   : "compiler";
         out->refusal = fmt(
-            "host metadata differs: A={cores %.0f, %s} vs "
+            "host metadata differs (first mismatched key: %s): "
+            "A={cores %.0f, %s} vs "
             "B={cores %.0f, %s} — wall-clock and ns/ref numbers do "
             "not compare across hosts",
+            firstKey,
             a.hostCores,
             a.compiler.empty() ? "unknown compiler"
                                : a.compiler.c_str(),
